@@ -1,0 +1,103 @@
+// E7 + E8 -- the flexible scheme vs the rigid alternatives.
+//
+// For random task systems with a varying share of protected (FT/FS) work,
+// reports the acceptance ratio of:
+//   flexible   -- this paper's reconfigurable mode-switching platform (EDF)
+//   static-FT  -- all four cores permanently in redundant lock-step
+//   static-FS  -- two permanent fail-silent couples (cannot host FT tasks)
+//   static-NF  -- four permanent independent cores (only NF tasks)
+//   prim/backup-- software fault tolerance: backup copies on distinct cores
+//
+// Expected shape (the paper's motivation): the flexible scheme accepts a
+// superset of the static configurations' workloads; primary/backup pays a
+// 2x bandwidth tax on protected tasks but scales over 4 cores, so it wins
+// only when protected utilization is large while the per-mode channels
+// saturate.
+//
+// Usage: baseline_comparison [--csv] [--trials N]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/error.hpp"
+#include "baseline/primary_backup.hpp"
+#include "baseline/static_config.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/integration.hpp"
+#include "gen/taskset_gen.hpp"
+
+using namespace flexrt;
+
+namespace {
+
+bool flexible_accepts(const rt::TaskSet& ts, double o_tot) {
+  const auto sys = gen::build_system(ts);
+  if (!sys) return false;
+  core::SearchOptions opts;
+  opts.grid_step = 5e-3;
+  opts.p_max = 10.0;
+  try {
+    core::max_feasible_period(*sys, hier::Scheduler::EDF, o_tot, opts);
+    return true;
+  } catch (const InfeasibleError&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  int trials = 300;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = std::stoi(argv[++i]);
+    }
+  }
+  const double o_tot = 0.05;
+  const hier::Scheduler alg = hier::Scheduler::EDF;
+
+  std::cout << "E7/E8: acceptance ratio by platform strategy (" << trials
+            << " systems per row, EDF, O_tot = " << o_tot
+            << " for the flexible scheme)\n\n";
+  Table t({"protected_frac", "U_total", "flexible", "static_FT", "static_FS",
+           "static_NF", "prim_backup"});
+  for (const double prot : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    for (const double u : {0.6, 1.0, 1.4, 1.8, 2.2}) {
+      Rng rng(0xBA5E ^ static_cast<std::uint64_t>(prot * 100 + u * 10));
+      int n_flex = 0, n_ft = 0, n_fs = 0, n_nf = 0, n_pb = 0;
+      for (int k = 0; k < trials; ++k) {
+        gen::GenParams gp;
+        gp.num_tasks = 10;
+        gp.total_utilization = u;
+        gp.ft_fraction = prot / 2;
+        gp.fs_fraction = prot / 2;
+        const rt::TaskSet ts = gen::generate_task_set(gp, rng);
+        n_flex += flexible_accepts(ts, o_tot);
+        n_ft += baseline::try_static(ts, baseline::StaticConfig::AllFT, alg)
+                    .schedulable;
+        n_fs += baseline::try_static(ts, baseline::StaticConfig::AllFS, alg)
+                    .schedulable;
+        n_nf += baseline::try_static(ts, baseline::StaticConfig::AllNF, alg)
+                    .schedulable;
+        n_pb += baseline::try_primary_backup(ts, alg);
+      }
+      const double denom = trials;
+      t.row()
+          .cell(prot, 2)
+          .cell(u, 1)
+          .cell(n_flex / denom, 3)
+          .cell(n_ft / denom, 3)
+          .cell(n_fs / denom, 3)
+          .cell(n_nf / denom, 3)
+          .cell(n_pb / denom, 3);
+    }
+  }
+  csv ? t.print_csv(std::cout) : t.print(std::cout);
+  std::cout << "\nshape checks: static_NF only competes at protected_frac 0; "
+               "static_FT caps out once U_total approaches 1; the flexible "
+               "scheme dominates every static row.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// E6 -- fault-injection study (extension experiment).
+//
+// Sweeps the transient-fault rate and reports, per mode, what reaches the
+// bus: FT masks every single fault (zero wrong results, zero silencing),
+// FS detects and silences (zero wrong results), NF silently corrupts.
+//
+// Usage: fault_injection [--csv] [--horizon T]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/design.hpp"
+#include "core/paper_example.hpp"
+#include "sim/simulator.hpp"
+
+using namespace flexrt;
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  double horizon = 20000.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--horizon") == 0 && i + 1 < argc) {
+      horizon = std::stod(argv[++i]);
+    }
+  }
+
+  const core::ModeTaskSystem sys = core::paper_example();
+  const core::Design d =
+      core::solve_design(sys, hier::Scheduler::EDF, {0.02, 0.02, 0.02},
+                         core::DesignGoal::MaxSlackBandwidth);
+
+  std::cout << "E6: fault outcomes vs fault rate (horizon " << horizon
+            << ", Table-1 system, immediate detection)\n\n";
+  Table t({"rate", "injected", "masked", "silenced", "corrupting", "harmless",
+           "FT_wrong", "FS_wrong", "NF_wrong", "FS_silenced_jobs"});
+  for (const double rate : {0.001, 0.005, 0.01, 0.05, 0.1, 0.2}) {
+    sim::SimOptions opt;
+    opt.horizon = horizon;
+    opt.scheduler = hier::Scheduler::EDF;
+    opt.faults = {rate, 2.0};
+    opt.seed = 424242;
+    const sim::SimResult r = sim::simulate(sys, d.schedule, opt);
+    std::uint64_t wrong[3] = {0, 0, 0};
+    std::uint64_t fs_silenced = 0;
+    for (const sim::TaskStats& ts : r.tasks) {
+      wrong[static_cast<std::size_t>(ts.mode)] += ts.corrupted_outputs;
+      if (ts.mode == rt::Mode::FS) fs_silenced += ts.silenced;
+    }
+    t.row()
+        .cell(rate, 3)
+        .cell(r.faults.injected)
+        .cell(r.faults.masked)
+        .cell(r.faults.silenced)
+        .cell(r.faults.corrupting)
+        .cell(r.faults.harmless)
+        .cell(wrong[0])
+        .cell(wrong[1])
+        .cell(wrong[2])
+        .cell(fs_silenced);
+  }
+  csv ? t.print_csv(std::cout) : t.print(std::cout);
+  std::cout << "\nshape check: FT_wrong and FS_wrong stay exactly 0 at every "
+               "rate; NF_wrong grows with the rate.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// E2 -- Figure 4 of the paper: the feasible-period region.
+//
+// Prints the curve lhs(P) = P - sum_k max_i minQ(T_k^i, alg, P) for both EDF
+// and RM on the Table-1 task set, plus the five marked points:
+//   (1) largest feasible P under EDF with zero overhead      (paper: 3.176)
+//   (2) largest feasible P under RM with zero overhead       (paper: 2.381)
+//   (3) largest admissible total overhead under EDF          (paper: 0.201)
+//   (4) largest admissible total overhead under RM           (paper: 0.129)
+//   (5) largest feasible P under EDF with O_tot = 0.05       (paper: 2.966)
+//
+// Usage: fig4_feasible_periods [--csv] [--step <dP>]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/integration.hpp"
+#include "core/paper_example.hpp"
+
+using namespace flexrt;
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  double step = 0.05;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc) {
+      step = std::stod(argv[++i]);
+    }
+  }
+
+  const core::ModeTaskSystem sys = core::paper_example();
+  const core::PaperReference ref;
+
+  std::cout << "Figure 4: region of feasible periods (13-task example)\n\n";
+  core::SearchOptions opts;
+  opts.p_min = 0.05;
+  opts.p_max = 3.5;
+  opts.grid_step = step;
+  const auto edf = core::sample_region(sys, hier::Scheduler::EDF, opts);
+  const auto rm = core::sample_region(sys, hier::Scheduler::FP, opts);
+
+  Table curve({"P", "lhs_EDF", "lhs_RM", "feasible@O=0.05(EDF)"});
+  for (std::size_t i = 0; i < edf.size(); ++i) {
+    curve.row()
+        .cell(edf[i].period, 3)
+        .cell(edf[i].margin, 4)
+        .cell(rm[i].margin, 4)
+        .cell(edf[i].margin >= ref.o_tot ? "yes" : "no");
+  }
+  csv ? curve.print_csv(std::cout) : curve.print(std::cout);
+
+  Table points({"point", "quantity", "measured", "paper"});
+  const double p1 = core::max_feasible_period(sys, hier::Scheduler::EDF, 0.0);
+  const double p2 = core::max_feasible_period(sys, hier::Scheduler::FP, 0.0);
+  const auto o3 = core::max_admissible_overhead(sys, hier::Scheduler::EDF);
+  const auto o4 = core::max_admissible_overhead(sys, hier::Scheduler::FP);
+  const double p5 =
+      core::max_feasible_period(sys, hier::Scheduler::EDF, ref.o_tot);
+  points.row().cell("1").cell("P_max EDF, O=0").cell(p1, 3).cell(
+      ref.p_max_edf_no_overhead, 3);
+  points.row().cell("2").cell("P_max RM, O=0").cell(p2, 3).cell(
+      ref.p_max_rm_no_overhead, 3);
+  points.row().cell("3").cell("max O_tot EDF").cell(o3.max_overhead, 3).cell(
+      ref.max_overhead_edf, 3);
+  points.row().cell("4").cell("max O_tot RM").cell(o4.max_overhead, 3).cell(
+      ref.max_overhead_rm, 3);
+  points.row().cell("5").cell("P_max EDF, O=0.05").cell(p5, 3).cell(
+      ref.p_max_edf_o005, 3);
+  std::cout << "\nMarked points:\n";
+  csv ? points.print_csv(std::cout) : points.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E11 -- micro-benchmarks of the analysis kernels and the simulator
+// (google-benchmark). These quantify the cost of the pieces a designer
+// iterates on: minQ evaluations, the lhs(P) curve, the full design solve,
+// and simulated time per wall second.
+#include <benchmark/benchmark.h>
+
+#include "core/design.hpp"
+#include "core/integration.hpp"
+#include "core/paper_example.hpp"
+#include "gen/taskset_gen.hpp"
+#include "hier/min_quantum.hpp"
+#include "rt/demand.hpp"
+#include "rt/priority.hpp"
+#include "rt/sched_points.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace flexrt;
+
+const core::ModeTaskSystem& paper_sys() {
+  static const core::ModeTaskSystem sys = core::paper_example();
+  return sys;
+}
+
+rt::TaskSet sized_set(std::size_t n) {
+  Rng rng(1234 + n);
+  gen::GenParams gp;
+  gp.num_tasks = n;
+  gp.total_utilization = 0.6;
+  gp.ft_fraction = 0.0;
+  gp.fs_fraction = 0.0;
+  return gen::generate_task_set(gp, rng);
+}
+
+void BM_SchedulingPoints(benchmark::State& state) {
+  const rt::TaskSet ts =
+      rt::sort_rate_monotonic(sized_set(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::scheduling_points(ts, ts.size() - 1));
+  }
+}
+BENCHMARK(BM_SchedulingPoints)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_EdfDemandCurve(benchmark::State& state) {
+  const rt::TaskSet ts = sized_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (const double t : rt::deadline_set(ts)) acc += rt::edf_demand(ts, t);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EdfDemandCurve)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_MinQuantum(benchmark::State& state) {
+  const rt::TaskSet ts =
+      rt::sort_rate_monotonic(sized_set(static_cast<std::size_t>(state.range(0))));
+  const hier::Scheduler alg =
+      state.range(1) == 0 ? hier::Scheduler::FP : hier::Scheduler::EDF;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hier::min_quantum(ts, alg, 2.0));
+  }
+}
+BENCHMARK(BM_MinQuantum)->Args({8, 0})->Args({8, 1})->Args({12, 0})->Args({12, 1});
+
+void BM_FeasibilityMargin(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::feasibility_margin(paper_sys(), hier::Scheduler::EDF, 2.0));
+  }
+}
+BENCHMARK(BM_FeasibilityMargin);
+
+void BM_SolveDesignG1(benchmark::State& state) {
+  const core::Overheads ov{0.02, 0.02, 0.01};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_design(paper_sys(), hier::Scheduler::EDF, ov,
+                           core::DesignGoal::MinOverheadBandwidth));
+  }
+}
+BENCHMARK(BM_SolveDesignG1);
+
+void BM_Simulate(benchmark::State& state) {
+  const core::Design d =
+      core::solve_design(paper_sys(), hier::Scheduler::EDF,
+                         {0.02, 0.02, 0.02},
+                         core::DesignGoal::MaxSlackBandwidth);
+  const double horizon = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    sim::SimOptions opt;
+    opt.horizon = horizon;
+    benchmark::DoNotOptimize(sim::simulate(paper_sys(), d.schedule, opt));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(horizon));
+}
+BENCHMARK(BM_Simulate)->Arg(1000)->Arg(10000);
+
+void BM_SimulateWithFaults(benchmark::State& state) {
+  const core::Design d =
+      core::solve_design(paper_sys(), hier::Scheduler::EDF,
+                         {0.02, 0.02, 0.02},
+                         core::DesignGoal::MaxSlackBandwidth);
+  for (auto _ : state) {
+    sim::SimOptions opt;
+    opt.horizon = 5000.0;
+    opt.faults = {0.05, 2.0};
+    benchmark::DoNotOptimize(sim::simulate(paper_sys(), d.schedule, opt));
+  }
+}
+BENCHMARK(BM_SimulateWithFaults);
+
+}  // namespace

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "hier/sched_test.hpp"
+#include "part/bin_packing.hpp"
+#include "rt/task_set.hpp"
+
+namespace flexrt::baseline {
+
+/// The non-reconfigurable platforms the paper's introduction argues
+/// against: the checker is wired into one configuration for the whole
+/// lifetime, so the platform's protection level must satisfy the most
+/// demanding task it hosts.
+enum class StaticConfig {
+  /// All four cores permanently in redundant lock-step: every task enjoys
+  /// FT protection, but the whole application shares ONE channel of unit
+  /// capacity.
+  AllFT,
+  /// Two permanent fail-silent couples: FS and NF tasks can run (two
+  /// channels), FT tasks cannot be hosted at all.
+  AllFS,
+  /// Four permanent independent cores: maximum capacity, but only NF tasks
+  /// get their requirement met.
+  AllNF,
+};
+
+const char* to_string(StaticConfig config) noexcept;
+
+/// Protection level a static configuration grants to every hosted task.
+rt::Mode provided_mode(StaticConfig config) noexcept;
+
+/// True when the configuration can host tasks with the given requirement
+/// (FT protection satisfies FS and NF requirements, FS satisfies NF).
+bool satisfies(StaticConfig config, rt::Mode required) noexcept;
+
+/// Result of a static-configuration admission attempt.
+struct StaticResult {
+  bool mode_feasible = false;   ///< every task's mode requirement satisfied
+  bool schedulable = false;     ///< and the partitioned set meets deadlines
+};
+
+/// Tries to host the whole application on a static configuration:
+/// checks mode compatibility, packs the tasks onto the configuration's
+/// channels, and runs the dedicated-processor schedulability test per
+/// channel (the static platform has no time-partitioning, so each channel
+/// is a plain uniprocessor). Baseline for experiment E7.
+StaticResult try_static(const rt::TaskSet& all_tasks, StaticConfig config,
+                        hier::Scheduler alg,
+                        const part::PackOptions& pack = {});
+
+}  // namespace flexrt::baseline

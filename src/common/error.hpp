@@ -1,0 +1,44 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace flexrt {
+
+/// Base class for all errors raised by the flexrt library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input model (task set, schedule, configuration) is invalid.
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an analysis or solver cannot produce a result
+/// (e.g. no feasible period exists for the requested overhead).
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw ModelError(std::string(file) + ":" + std::to_string(line) +
+                   ": requirement failed (" + expr + "): " + msg);
+}
+}  // namespace detail
+
+/// Precondition check that throws ModelError with context on failure.
+/// Used at public API boundaries; internal invariants use assert().
+#define FLEXRT_REQUIRE(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::flexrt::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                   \
+  } while (false)
+
+}  // namespace flexrt

@@ -1,0 +1,58 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace flexrt {
+
+std::int64_t lcm_saturating(std::int64_t a, std::int64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  a = std::abs(a);
+  b = std::abs(b);
+  const std::int64_t g = std::gcd(a, b);
+  const std::int64_t a_red = a / g;
+  // a_red * b overflows iff b > max / a_red.
+  if (b > std::numeric_limits<std::int64_t>::max() / a_red) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return a_red * b;
+}
+
+std::int64_t lcm_saturating(std::span<const std::int64_t> values) noexcept {
+  std::int64_t acc = 1;
+  for (const std::int64_t v : values) {
+    acc = lcm_saturating(acc, v);
+    if (acc == std::numeric_limits<std::int64_t>::max()) return acc;
+  }
+  return acc;
+}
+
+bool almost_equal(double a, double b, double rel_tol, double abs_tol) noexcept {
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+bool leq_tol(double a, double b, double tol) noexcept {
+  return a <= b + tol * std::max(1.0, std::max(std::fabs(a), std::fabs(b)));
+}
+
+std::int64_t ceil_ratio(double x, double y, double tol) noexcept {
+  const double r = x / y;
+  const double nearest = std::round(r);
+  if (std::fabs(r - nearest) <= tol * std::max(1.0, std::fabs(r))) {
+    return static_cast<std::int64_t>(nearest);
+  }
+  return static_cast<std::int64_t>(std::ceil(r));
+}
+
+std::int64_t floor_ratio(double x, double y, double tol) noexcept {
+  const double r = x / y;
+  const double nearest = std::round(r);
+  if (std::fabs(r - nearest) <= tol * std::max(1.0, std::fabs(r))) {
+    return static_cast<std::int64_t>(nearest);
+  }
+  return static_cast<std::int64_t>(std::floor(r));
+}
+
+}  // namespace flexrt

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+
+namespace flexrt {
+
+/// Least common multiple with saturation: returns
+/// std::numeric_limits<int64_t>::max() on overflow instead of UB.
+/// Hyperperiods of generated task sets can easily overflow; downstream
+/// analyses treat the saturated value as "cap me".
+std::int64_t lcm_saturating(std::int64_t a, std::int64_t b) noexcept;
+
+/// Saturating LCM over a sequence (empty sequence yields 1).
+std::int64_t lcm_saturating(std::span<const std::int64_t> values) noexcept;
+
+/// Relative+absolute tolerance comparison for analytical doubles.
+/// |a-b| <= abs_tol + rel_tol * max(|a|,|b|).
+bool almost_equal(double a, double b, double rel_tol = 1e-9,
+                  double abs_tol = 1e-12) noexcept;
+
+/// a <= b up to tolerance (used when checking analytical inequalities that
+/// are tight at design boundaries).
+bool leq_tol(double a, double b, double tol = 1e-9) noexcept;
+
+/// Ceiling of a/b for positive integers without floating point.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// ceil(x/y) for positive doubles computed robustly: values that are within
+/// tolerance of an integer are treated as that integer before rounding up.
+/// The schedulability sums (Eq. 5/9 of the paper) are extremely sensitive to
+/// ceil(t/T) stepping one period too early due to representation noise.
+std::int64_t ceil_ratio(double x, double y, double tol = 1e-9) noexcept;
+
+/// floor(x/y) with the same integer-snapping robustness as ceil_ratio.
+std::int64_t floor_ratio(double x, double y, double tol = 1e-9) noexcept;
+
+}  // namespace flexrt

@@ -1,0 +1,73 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace flexrt {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+  // All-zero state is invalid for xoshiro; splitmix cannot produce four
+  // zero words from any seed, but keep the guard for clarity.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(operator()());  // full range
+  const std::uint64_t limit = max() - max() % range;
+  std::uint64_t v = operator()();
+  while (v >= limit) v = operator()();
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Avoid log(0) by mapping 0 -> smallest positive.
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+double Rng::log_uniform(double lo, double hi) noexcept {
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+Rng Rng::fork() noexcept { return Rng(operator()()); }
+
+}  // namespace flexrt

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace flexrt {
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna).
+///
+/// We carry our own generator instead of std::mt19937_64 so that every
+/// experiment in the repository is bit-reproducible across standard library
+/// implementations; benchmark tables in EXPERIMENTS.md depend on it.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state via splitmix64 of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased via rejection.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Exponentially distributed double with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Log-uniform double in [lo, hi): uniform in log-space, the standard
+  /// period generator for real-time task-set experiments.
+  double log_uniform(double lo, double hi) noexcept;
+
+  /// Forks an independent stream (jump-free: reseeds via splitmix of the
+  /// next output). Used to give each simulated component its own stream.
+  Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace flexrt

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace flexrt {
+
+/// Simulation time is kept in integer ticks so that event ordering is exact
+/// and deterministic; one paper time-unit is TICKS_PER_UNIT ticks.
+/// Analytical code (supply functions, minQ, solvers) works in double; the
+/// conversion happens once when a design is handed to the simulator.
+using Ticks = std::int64_t;
+
+inline constexpr Ticks TICKS_PER_UNIT = 1'000'000;
+
+/// Converts an analytical duration to ticks, rounding to nearest.
+/// Rounding a usable quantum *down* by <=0.5 tick is safely below any margin
+/// the analysis cares about (1 tick = 1e-6 time units).
+constexpr Ticks to_ticks(double units) noexcept {
+  return static_cast<Ticks>(units * static_cast<double>(TICKS_PER_UNIT) + 0.5);
+}
+
+constexpr double to_units(Ticks t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(TICKS_PER_UNIT);
+}
+
+}  // namespace flexrt

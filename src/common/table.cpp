@@ -1,0 +1,79 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace flexrt {
+
+std::string format_fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FLEXRT_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& text) {
+  FLEXRT_REQUIRE(!rows_.empty(), "call row() before cell()");
+  FLEXRT_REQUIRE(rows_.back().size() < headers_.size(),
+                 "row has more cells than headers");
+  rows_.back().push_back(text);
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  return cell(format_fixed(value, precision));
+}
+
+Table& Table::cell(std::int64_t value) { return cell(std::to_string(value)); }
+
+Table& Table::cell(std::size_t value) { return cell(std::to_string(value)); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      os << "  " << std::setw(static_cast<int>(widths[c])) << text;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) print_row(r);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace flexrt

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flexrt {
+
+/// Minimal column-aligned table used by the benchmark binaries to print the
+/// paper's tables/figure series and their CSV form. Cells are strings; the
+/// numeric helpers format with fixed precision so that bench output is
+/// diffable run-to-run.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begins a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+
+  Table& cell(const std::string& text);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::int64_t value);
+  Table& cell(std::size_t value);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with aligned columns and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with log lines).
+std::string format_fixed(double value, int precision);
+
+}  // namespace flexrt

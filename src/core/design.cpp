@@ -1,0 +1,72 @@
+#include "core/design.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexrt::core {
+
+const char* to_string(DesignGoal goal) noexcept {
+  return goal == DesignGoal::MinOverheadBandwidth ? "min-overhead-bandwidth"
+                                                  : "max-slack-bandwidth";
+}
+
+Design solve_design(const ModeTaskSystem& sys, hier::Scheduler alg,
+                    const Overheads& overheads, DesignGoal goal,
+                    const SearchOptions& opts) {
+  FLEXRT_REQUIRE(overheads.ft >= 0.0 && overheads.fs >= 0.0 &&
+                     overheads.nf >= 0.0,
+                 "overheads must be >= 0");
+  double period = 0.0;
+  switch (goal) {
+    case DesignGoal::MinOverheadBandwidth:
+      period = max_feasible_period(sys, alg, overheads.total(), opts);
+      break;
+    case DesignGoal::MaxSlackBandwidth:
+      period = max_slack_period(sys, alg, overheads.total(), opts).period;
+      break;
+  }
+
+  Design d;
+  d.scheduler = alg;
+  d.goal = goal;
+  d.min_quantum_ft = mode_min_quantum(sys, rt::Mode::FT, alg, period,
+                                      opts.use_exact_supply);
+  d.min_quantum_fs = mode_min_quantum(sys, rt::Mode::FS, alg, period,
+                                      opts.use_exact_supply);
+  d.min_quantum_nf = mode_min_quantum(sys, rt::Mode::NF, alg, period,
+                                      opts.use_exact_supply);
+  d.schedule.period = period;
+  d.schedule.ft = {d.min_quantum_ft, overheads.ft};
+  d.schedule.fs = {d.min_quantum_fs, overheads.fs};
+  d.schedule.nf = {d.min_quantum_nf, overheads.nf};
+  // The period search can land a hair inside the boundary; a negative slack
+  // within tolerance is clamped by nudging the period up to the exact sum.
+  if (d.schedule.slack() < 0.0) {
+    const double deficit = -d.schedule.slack();
+    FLEXRT_REQUIRE(deficit <= 1e-6 * period,
+                   "solver produced an infeasible schedule");
+    d.schedule.period += deficit;
+  }
+  d.schedule.validate();
+  return d;
+}
+
+ModeSchedule distribute_slack(const Design& design) {
+  ModeSchedule out = design.schedule;
+  const double slack = out.slack();
+  if (slack <= 0.0) return out;
+  const double total_min =
+      design.min_quantum_ft + design.min_quantum_fs + design.min_quantum_nf;
+  if (total_min <= 0.0) return out;
+  // Proportional growth keeps every quantum above its minimum, so the
+  // schedule stays feasible (supply is monotone in the usable quantum).
+  const double scale = slack / total_min;
+  out.ft.usable += design.min_quantum_ft * scale;
+  out.fs.usable += design.min_quantum_fs * scale;
+  out.nf.usable += design.min_quantum_nf * scale;
+  out.validate();
+  return out;
+}
+
+}  // namespace flexrt::core

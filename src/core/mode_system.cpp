@@ -1,0 +1,80 @@
+#include "core/mode_system.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexrt::core {
+
+double Overheads::of(rt::Mode mode) const noexcept {
+  switch (mode) {
+    case rt::Mode::FT:
+      return ft;
+    case rt::Mode::FS:
+      return fs;
+    case rt::Mode::NF:
+      return nf;
+  }
+  return 0.0;
+}
+
+ModeTaskSystem::ModeTaskSystem(std::vector<rt::TaskSet> ft,
+                               std::vector<rt::TaskSet> fs,
+                               std::vector<rt::TaskSet> nf) {
+  set_partitions(rt::Mode::FT, std::move(ft));
+  set_partitions(rt::Mode::FS, std::move(fs));
+  set_partitions(rt::Mode::NF, std::move(nf));
+}
+
+void ModeTaskSystem::check_mode(rt::Mode mode,
+                                const std::vector<rt::TaskSet>& parts) const {
+  FLEXRT_REQUIRE(parts.size() <= num_channels(mode),
+                 std::string("too many partitions for mode ") +
+                     rt::to_string(mode));
+  for (const rt::TaskSet& ts : parts) {
+    for (const rt::Task& t : ts) {
+      FLEXRT_REQUIRE(t.mode == mode,
+                     "task " + t.name + " requires mode " +
+                         rt::to_string(t.mode) + " but was partitioned into " +
+                         rt::to_string(mode));
+    }
+  }
+}
+
+void ModeTaskSystem::set_partitions(rt::Mode mode,
+                                    std::vector<rt::TaskSet> parts) {
+  check_mode(mode, parts);
+  parts.resize(num_channels(mode));
+  parts_[index(mode)] = std::move(parts);
+}
+
+std::span<const rt::TaskSet> ModeTaskSystem::partitions(
+    rt::Mode mode) const noexcept {
+  return parts_[index(mode)];
+}
+
+rt::TaskSet ModeTaskSystem::mode_tasks(rt::Mode mode) const {
+  rt::TaskSet all;
+  for (const rt::TaskSet& ts : parts_[index(mode)]) {
+    for (const rt::Task& t : ts) all.add(t);
+  }
+  return all;
+}
+
+std::size_t ModeTaskSystem::num_tasks() const noexcept {
+  std::size_t n = 0;
+  for (const auto& mode_parts : parts_) {
+    for (const rt::TaskSet& ts : mode_parts) n += ts.size();
+  }
+  return n;
+}
+
+double ModeTaskSystem::required_bandwidth(rt::Mode mode) const noexcept {
+  double worst = 0.0;
+  for (const rt::TaskSet& ts : parts_[index(mode)]) {
+    worst = std::max(worst, ts.utilization());
+  }
+  return worst;
+}
+
+}  // namespace flexrt::core

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "rt/task_set.hpp"
+
+namespace flexrt::core {
+
+/// Number of independent execution channels the platform offers in a mode
+/// (paper §2.4): FT = one 4-way redundant lock-step channel, FS = two 2-way
+/// lock-step channels, NF = four independent processors.
+constexpr std::size_t num_channels(rt::Mode mode) noexcept {
+  switch (mode) {
+    case rt::Mode::FT:
+      return 1;
+    case rt::Mode::FS:
+      return 2;
+    case rt::Mode::NF:
+      return 4;
+  }
+  return 0;
+}
+
+constexpr std::array<rt::Mode, 3> kAllModes = {rt::Mode::FT, rt::Mode::FS,
+                                               rt::Mode::NF};
+
+/// Per-mode switch-out overheads O_FT, O_FS, O_NF (paper §2.4). Each O_k is
+/// charged inside slot Q_k, so the usable time is Q~_k = Q_k - O_k.
+struct Overheads {
+  double ft = 0.0;
+  double fs = 0.0;
+  double nf = 0.0;
+
+  double total() const noexcept { return ft + fs + nf; }
+  double of(rt::Mode mode) const noexcept;
+};
+
+/// A complete application mapped onto the platform: the task partition for
+/// every channel of every mode. This is the input of the design methodology
+/// (paper §3): partitions are fixed before the slot parameters are chosen.
+class ModeTaskSystem {
+ public:
+  ModeTaskSystem() = default;
+
+  /// Builds the system from per-mode channel partitions. Each vector must
+  /// have at most num_channels(mode) entries (missing channels are empty);
+  /// every task inside a partition must require that mode.
+  ModeTaskSystem(std::vector<rt::TaskSet> ft, std::vector<rt::TaskSet> fs,
+                 std::vector<rt::TaskSet> nf);
+
+  /// Channel partitions of one mode (size == num_channels(mode)).
+  std::span<const rt::TaskSet> partitions(rt::Mode mode) const noexcept;
+
+  /// All tasks requiring `mode`, across its channels.
+  rt::TaskSet mode_tasks(rt::Mode mode) const;
+
+  /// Total number of tasks in the system.
+  std::size_t num_tasks() const noexcept;
+
+  /// max_i U(T_k^i): the bandwidth the mode's quantum must at least provide
+  /// (necessary condition used for Table 2 row (a)).
+  double required_bandwidth(rt::Mode mode) const noexcept;
+
+  /// Replaces one mode's partitioning (used by the partitioning study E10).
+  void set_partitions(rt::Mode mode, std::vector<rt::TaskSet> parts);
+
+ private:
+  std::array<std::vector<rt::TaskSet>, 3> parts_{};
+
+  static std::size_t index(rt::Mode mode) noexcept {
+    return static_cast<std::size_t>(mode);
+  }
+  void check_mode(rt::Mode mode, const std::vector<rt::TaskSet>& parts) const;
+};
+
+}  // namespace flexrt::core

@@ -1,0 +1,47 @@
+#include "core/paper_example.hpp"
+
+#include "rt/task.hpp"
+
+namespace flexrt::core {
+
+using rt::make_task;
+using rt::Mode;
+
+rt::TaskSet paper_example_tasks() {
+  rt::TaskSet ts;
+  ts.add(make_task("tau1", 1, 6, Mode::NF));
+  ts.add(make_task("tau2", 1, 8, Mode::NF));
+  ts.add(make_task("tau3", 1, 12, Mode::NF));
+  ts.add(make_task("tau4", 2, 10, Mode::NF));
+  ts.add(make_task("tau5", 6, 24, Mode::NF));
+  ts.add(make_task("tau6", 1, 10, Mode::FS));
+  ts.add(make_task("tau7", 1, 15, Mode::FS));
+  ts.add(make_task("tau8", 2, 20, Mode::FS));
+  ts.add(make_task("tau9", 1, 4, Mode::FS));
+  ts.add(make_task("tau10", 1, 12, Mode::FT));
+  ts.add(make_task("tau11", 1, 15, Mode::FT));
+  ts.add(make_task("tau12", 1, 20, Mode::FT));
+  ts.add(make_task("tau13", 2, 30, Mode::FT));
+  return ts;
+}
+
+ModeTaskSystem paper_example() {
+  const rt::TaskSet all = paper_example_tasks();
+  auto named = [&](std::initializer_list<const char*> names) {
+    rt::TaskSet out;
+    for (const char* name : names) {
+      for (const rt::Task& t : all) {
+        if (t.name == name) out.add(t);
+      }
+    }
+    return out;
+  };
+  std::vector<rt::TaskSet> nf = {named({"tau1"}), named({"tau2", "tau3"}),
+                                 named({"tau4"}), named({"tau5"})};
+  std::vector<rt::TaskSet> fs = {named({"tau6", "tau7", "tau8"}),
+                                 named({"tau9"})};
+  std::vector<rt::TaskSet> ft = {named({"tau10", "tau11", "tau12", "tau13"})};
+  return ModeTaskSystem(std::move(ft), std::move(fs), std::move(nf));
+}
+
+}  // namespace flexrt::core

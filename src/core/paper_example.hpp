@@ -1,0 +1,50 @@
+#pragma once
+
+#include "core/mode_system.hpp"
+
+namespace flexrt::core {
+
+/// The 13-task application of the paper's §4 (Table 1), with the manual
+/// partition given in the text:
+///
+///   NF: tau1(1,6) tau2(1,8) tau3(1,12) tau4(2,10) tau5(6,24)
+///       channels  {tau1} {tau2,tau3} {tau4} {tau5}
+///   FS: tau6(1,10) tau7(1,15) tau8(2,20) tau9(1,4)
+///       channels  {tau6,tau7,tau8} {tau9}
+///   FT: tau10(1,12) tau11(1,15) tau12(1,20) tau13(2,30)  (single channel)
+///
+/// Deadlines are implicit (D = T). This fixture anchors the reproduction of
+/// Figure 4 and Table 2.
+ModeTaskSystem paper_example();
+
+/// The flat Table-1 task set (tau1..tau13) without channel assignment.
+rt::TaskSet paper_example_tasks();
+
+/// Reference values reported by the paper for this example, used by the
+/// reproduction tests and printed next to our results in the benches.
+struct PaperReference {
+  // Figure 4 points.
+  double p_max_edf_no_overhead = 3.176;  // point 1
+  double p_max_rm_no_overhead = 2.381;   // point 2
+  double max_overhead_edf = 0.201;       // point 3
+  double max_overhead_rm = 0.129;        // point 4
+  double p_max_edf_o005 = 2.966;         // point 5 (O_tot = 0.05)
+  double o_tot = 0.05;
+  // Table 2 row (a): required bandwidth per mode.
+  double req_util_ft = 0.267;
+  double req_util_fs = 0.267;
+  double req_util_nf = 0.250;
+  // Table 2 row (b): min-overhead design (EDF).
+  double b_q_ft = 0.820;
+  double b_q_fs = 1.281;
+  double b_q_nf = 0.815;
+  // Table 2 row (c): max-slack design (EDF).
+  double c_period = 0.855;
+  double c_q_ft = 0.230;
+  double c_q_fs = 0.252;
+  double c_q_nf = 0.220;
+  double c_slack = 0.103;
+  double c_slack_util = 0.121;
+};
+
+}  // namespace flexrt::core

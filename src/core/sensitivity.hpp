@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mode_system.hpp"
+#include "core/schedule.hpp"
+#include "hier/sched_test.hpp"
+
+namespace flexrt::core {
+
+/// Sensitivity analysis of a finished design: how much can the workload
+/// grow before the schedule breaks? This is the question a designer asks
+/// right after Table 2 -- the slack row (c) says how much *bandwidth* is
+/// redistributable, sensitivity says how much *each task* can grow.
+
+/// Largest factor lambda such that scaling task `task_name`'s WCET by
+/// lambda keeps every partition schedulable under `schedule` (the schedule
+/// itself is not re-solved: the quanta are fixed hardware configuration).
+/// Found by bisection on lambda in [1, lambda_max]; returns 1.0 when the
+/// task is already at the edge and `lambda_max` when even that scale fits.
+double wcet_scale_margin(const ModeTaskSystem& sys,
+                         const ModeSchedule& schedule, hier::Scheduler alg,
+                         const std::string& task_name,
+                         double lambda_max = 16.0, double tolerance = 1e-4);
+
+/// One row of the sensitivity report.
+struct TaskMargin {
+  std::string name;
+  rt::Mode mode = rt::Mode::NF;
+  double wcet = 0.0;
+  double scale_margin = 0.0;  ///< wcet_scale_margin of this task
+};
+
+/// Margins for every task of the system, in system iteration order.
+std::vector<TaskMargin> sensitivity_report(const ModeTaskSystem& sys,
+                                           const ModeSchedule& schedule,
+                                           hier::Scheduler alg,
+                                           double lambda_max = 16.0);
+
+/// Largest factor by which EVERY task's WCET can grow simultaneously while
+/// the schedule stays feasible -- a single-number robustness metric for the
+/// whole design.
+double global_scale_margin(const ModeTaskSystem& sys,
+                           const ModeSchedule& schedule, hier::Scheduler alg,
+                           double lambda_max = 16.0, double tolerance = 1e-4);
+
+}  // namespace flexrt::core

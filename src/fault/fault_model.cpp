@@ -1,0 +1,29 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexrt::fault {
+
+std::vector<Fault> FaultModel::generate(Ticks horizon, Rng& rng) const {
+  FLEXRT_REQUIRE(rate >= 0.0, "fault rate must be >= 0");
+  FLEXRT_REQUIRE(min_separation >= 0.0, "separation must be >= 0");
+  std::vector<Fault> out;
+  if (rate <= 0.0) return out;
+  const Ticks gap = to_ticks(min_separation);
+  Ticks t = 0;
+  for (;;) {
+    const Ticks step = std::max<Ticks>(1, to_ticks(rng.exponential(rate)));
+    t += step;
+    if (!out.empty()) t = std::max(t, out.back().time + gap);
+    if (t >= horizon) break;
+    out.push_back(
+        {t, static_cast<platform::CoreId>(
+                rng.uniform_int(0, static_cast<std::int64_t>(
+                                       platform::kNumCores - 1)))});
+  }
+  return out;
+}
+
+}  // namespace flexrt::fault

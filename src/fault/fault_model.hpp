@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "platform/checker.hpp"
+
+namespace flexrt::fault {
+
+/// One transient soft error: it strikes a single core at `time` (paper §2.1:
+/// a particle can strike only one core, so no correlated multi-core faults).
+struct Fault {
+  Ticks time = 0;
+  platform::CoreId core = 0;
+};
+
+/// Poisson generator of transient faults honouring the paper's
+/// single-transient-fault assumption: the soft-error rate statistically
+/// guarantees enough separation between faults for recovery, which we model
+/// with a hard minimum separation (faults drawn closer are pushed apart).
+struct FaultModel {
+  double rate = 0.0;  ///< expected faults per time unit (lambda)
+  double min_separation = 1.0;  ///< enforced gap between faults, time units
+
+  /// Draws the fault arrivals in [0, horizon), strictly increasing in time,
+  /// with cores chosen uniformly.
+  std::vector<Fault> generate(Ticks horizon, Rng& rng) const;
+};
+
+}  // namespace flexrt::fault

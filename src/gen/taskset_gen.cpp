@@ -1,0 +1,81 @@
+#include "gen/taskset_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace flexrt::gen {
+
+std::vector<double> uunifast(std::size_t n, double total, Rng& rng) {
+  FLEXRT_REQUIRE(n > 0, "need at least one task");
+  FLEXRT_REQUIRE(total > 0.0, "total utilization must be > 0");
+  std::vector<double> u(n);
+  double sum = total;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double next =
+        sum * std::pow(rng.uniform01(),
+                       1.0 / static_cast<double>(n - 1 - i));
+    u[i] = sum - next;
+    sum = next;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+rt::TaskSet generate_task_set(const GenParams& params, Rng& rng) {
+  FLEXRT_REQUIRE(!params.period_menu.empty(), "period menu is empty");
+  FLEXRT_REQUIRE(params.ft_fraction + params.fs_fraction <= 1.0 + 1e-12,
+                 "mode fractions exceed 1");
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const std::vector<double> utils =
+        uunifast(params.num_tasks, params.total_utilization, rng);
+    if (std::any_of(utils.begin(), utils.end(), [&](double u) {
+          return u > params.max_task_utilization;
+        })) {
+      continue;  // resample the whole vector to keep UUniFast's distribution
+    }
+    rt::TaskSet ts;
+    bool ok = true;
+    for (std::size_t i = 0; i < utils.size(); ++i) {
+      const double period = params.period_menu[static_cast<std::size_t>(
+          rng.uniform_int(0,
+                          static_cast<std::int64_t>(params.period_menu.size()) -
+                              1))];
+      const double wcet = utils[i] * period;
+      double deadline = period;
+      if (params.deadline_min_ratio < 1.0) {
+        deadline = period * rng.uniform(params.deadline_min_ratio, 1.0);
+        deadline = std::max(deadline, wcet);  // keep C <= D
+      }
+      if (wcet <= 0.0) {
+        ok = false;
+        break;
+      }
+      const double pick = rng.uniform01();
+      const rt::Mode mode = pick < params.ft_fraction ? rt::Mode::FT
+                            : pick < params.ft_fraction + params.fs_fraction
+                                ? rt::Mode::FS
+                                : rt::Mode::NF;
+      ts.add(rt::make_task("t" + std::to_string(i), wcet, period, deadline,
+                           mode));
+    }
+    if (ok) return ts;
+  }
+  throw Error("task-set generation failed after 256 attempts");
+}
+
+std::optional<core::ModeTaskSystem> build_system(const rt::TaskSet& ts,
+                                                 const part::PackOptions& pack) {
+  auto pack_mode = [&](rt::Mode mode) {
+    return part::pack(ts.by_mode(mode), core::num_channels(mode), pack);
+  };
+  auto ft = pack_mode(rt::Mode::FT);
+  auto fs = pack_mode(rt::Mode::FS);
+  auto nf = pack_mode(rt::Mode::NF);
+  if (!ft || !fs || !nf) return std::nullopt;
+  return core::ModeTaskSystem(std::move(*ft), std::move(*fs), std::move(*nf));
+}
+
+}  // namespace flexrt::gen

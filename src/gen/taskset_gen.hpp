@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/mode_system.hpp"
+#include "part/bin_packing.hpp"
+#include "rt/task_set.hpp"
+
+namespace flexrt::gen {
+
+/// UUniFast (Bini & Buttazzo): n task utilizations summing exactly to
+/// `total`, uniformly distributed over the simplex. The de-facto standard
+/// generator for schedulability experiments.
+std::vector<double> uunifast(std::size_t n, double total, Rng& rng);
+
+/// Parameters of the synthetic workload generator used by the sweep
+/// experiments (E4, E7, E8, E10).
+struct GenParams {
+  std::size_t num_tasks = 12;
+  double total_utilization = 1.0;
+  /// Candidate periods; drawing from a divisor-friendly menu keeps the
+  /// hyperperiod small, which the EDF dlSet analysis needs. Values are in
+  /// paper time units.
+  std::vector<double> period_menu = {4, 5, 6, 8, 10, 12, 15, 20, 24, 30, 40, 60};
+  /// Probability that a task requires FT / FS (the rest is NF).
+  double ft_fraction = 0.25;
+  double fs_fraction = 0.25;
+  /// Deadline = period * uniform[deadline_min_ratio, 1]; 1.0 = implicit.
+  double deadline_min_ratio = 1.0;
+  /// Cap on any single task's utilization (resampled above it).
+  double max_task_utilization = 0.95;
+};
+
+/// Draws one random task set. Task names are "t<index>".
+rt::TaskSet generate_task_set(const GenParams& params, Rng& rng);
+
+/// Splits a generated set by required mode and packs each mode's tasks onto
+/// its channels (1 FT / 2 FS / 4 NF) with the given heuristic. Returns
+/// nullopt when packing fails (some channel would exceed unit bandwidth,
+/// meaning the set can be rejected as trivially infeasible).
+std::optional<core::ModeTaskSystem> build_system(const rt::TaskSet& ts,
+                                                 const part::PackOptions& pack =
+                                                     {});
+
+}  // namespace flexrt::gen

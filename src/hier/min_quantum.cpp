@@ -1,0 +1,79 @@
+#include "hier/min_quantum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "rt/demand.hpp"
+#include "rt/sched_points.hpp"
+
+namespace flexrt::hier {
+
+double quantum_for_point(double t, double workload, double period) noexcept {
+  const double b = t - period;
+  return (std::sqrt(b * b + 4.0 * period * workload) - b) / 2.0;
+}
+
+namespace {
+
+double min_quantum_fp(const rt::TaskSet& ts, double period) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const double t : rt::scheduling_points(ts, i)) {
+      best = std::min(best,
+                      quantum_for_point(t, rt::fp_workload(ts, i, t), period));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+double min_quantum_edf(const rt::TaskSet& ts, double period) {
+  double worst = 0.0;
+  for (const double t : rt::deadline_set(ts)) {
+    worst = std::max(worst,
+                     quantum_for_point(t, rt::edf_demand(ts, t), period));
+  }
+  return worst;
+}
+
+}  // namespace
+
+double min_quantum(const rt::TaskSet& ts, Scheduler alg, double period) {
+  FLEXRT_REQUIRE(period > 0.0, "period must be > 0");
+  if (ts.empty()) return 0.0;
+  return alg == Scheduler::FP ? min_quantum_fp(ts, period)
+                              : min_quantum_edf(ts, period);
+}
+
+double min_quantum_exact(const rt::TaskSet& ts, Scheduler alg, double period,
+                         double tolerance) {
+  FLEXRT_REQUIRE(period > 0.0, "period must be > 0");
+  if (ts.empty()) return 0.0;
+  // Feasibility is monotone in the usable quantum: a larger quantum yields a
+  // pointwise larger SlotSupply, so bisection applies. The linear-bound
+  // answer is an upper bound for the exact one.
+  double hi = std::min(period, min_quantum(ts, alg, period));
+  if (!schedulable(ts, alg, SlotSupply(period, hi))) {
+    // Linear answer exceeded the period: the exact test may still pass with
+    // q <= P, or fail outright.
+    hi = period;
+    if (!schedulable(ts, alg, SlotSupply(period, hi))) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  double lo = 0.0;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (schedulable(ts, alg, SlotSupply(period, mid))) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace flexrt::hier

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "hier/sched_test.hpp"
+#include "rt/task_set.hpp"
+
+namespace flexrt::hier {
+
+/// The quantum inversion at the heart of the paper (Eq. 6 and Eq. 11):
+/// the smallest usable slot length Q~ such that the task set is schedulable
+/// inside a slot of usable length Q~ repeating every `period`, under the
+/// *linear* supply bound Z'(t) = max(0, (Q~/P)(t - (P - Q~))).
+///
+///   q(t, W) = ( sqrt((t-P)^2 + 4*P*W) - (t-P) ) / 2
+///   FP :  minQ = max_i  min_{t in schedP_i}  q(t, W_i(t))
+///   EDF:  minQ = max_{t in dlSet}            q(t, W(t))
+///
+/// For FP the set must be sorted by decreasing priority. An empty task set
+/// needs no supply: returns 0. The result can exceed `period`, which simply
+/// means no feasible quantum exists at this period.
+double min_quantum(const rt::TaskSet& ts, Scheduler alg, double period);
+
+/// Solution of Q^2 + (t-P) Q - W P = 0: the minimum quantum making the
+/// linear supply cover demand W at time t. Exposed for tests.
+double quantum_for_point(double t, double workload, double period) noexcept;
+
+/// Variant of min_quantum computed against the *exact* slot supply
+/// (Lemma 1) instead of its linear bound, by bisection on Q~ (feasibility is
+/// monotone in Q~). Always <= min_quantum(); the gap is the price of the
+/// linear approximation (studied in experiment E4).
+double min_quantum_exact(const rt::TaskSet& ts, Scheduler alg, double period,
+                         double tolerance = 1e-9);
+
+}  // namespace flexrt::hier

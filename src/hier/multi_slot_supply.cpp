@@ -1,0 +1,82 @@
+#include "hier/multi_slot_supply.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace flexrt::hier {
+
+MultiSlotSupply::MultiSlotSupply(double period, std::vector<Window> windows)
+    : period_(period), windows_(std::move(windows)) {
+  FLEXRT_REQUIRE(period > 0.0, "frame period must be > 0");
+  FLEXRT_REQUIRE(!windows_.empty(), "need at least one usable window");
+  double prev_end = 0.0;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const Window& w = windows_[i];
+    FLEXRT_REQUIRE(w.begin >= 0.0 && w.end <= period + 1e-12,
+                   "window outside the frame");
+    FLEXRT_REQUIRE(w.end > w.begin, "window must have positive length");
+    FLEXRT_REQUIRE(i == 0 || w.begin >= prev_end,
+                   "windows must be ordered and disjoint");
+    prev_end = w.end;
+    total_usable_ += w.end - w.begin;
+  }
+  // Longest supply-free gap, including the wrap-around gap from the last
+  // window's end through the frame boundary to the first window's begin.
+  max_gap_ = windows_.front().begin + (period_ - windows_.back().end);
+  for (std::size_t i = 1; i < windows_.size(); ++i) {
+    max_gap_ = std::max(max_gap_, windows_[i].begin - windows_[i - 1].end);
+  }
+}
+
+double MultiSlotSupply::supplied_between(double from, double to)
+    const noexcept {
+  return cumulative(to) - cumulative(from);
+}
+
+double MultiSlotSupply::cumulative(double x) const noexcept {
+  if (x <= 0.0) return 0.0;
+  const double frames = static_cast<double>(floor_ratio(x, period_));
+  const double rem = x - frames * period_;
+  double within = 0.0;
+  for (const Window& w : windows_) {
+    if (rem <= w.begin) break;
+    within += std::min(rem, w.end) - w.begin;
+  }
+  return frames * total_usable_ + within;
+}
+
+double MultiSlotSupply::value(double t) const noexcept {
+  if (t <= 0.0) return 0.0;
+  // The worst window of length t starts at the end of some usable window
+  // (by periodicity, only the ends within the first frame matter).
+  double worst = t;
+  for (const Window& w : windows_) {
+    worst = std::min(worst, supplied_between(w.end, w.end + t));
+  }
+  // Starting at 0 matters when 0 is not inside a window.
+  worst = std::min(worst, supplied_between(0.0, t));
+  return std::max(0.0, worst);
+}
+
+MultiSlotSupply evenly_split_supply(double period, double usable,
+                                    std::size_t k, double offset) {
+  FLEXRT_REQUIRE(k >= 1, "need at least one window");
+  FLEXRT_REQUIRE(usable > 0.0 && usable <= period + 1e-12,
+                 "usable budget must satisfy 0 < usable <= period");
+  const double stride = period / static_cast<double>(k);
+  const double each = usable / static_cast<double>(k);
+  FLEXRT_REQUIRE(offset >= 0.0 && offset + each <= stride + 1e-12,
+                 "offset pushes a window into the next stride");
+  std::vector<MultiSlotSupply::Window> windows;
+  windows.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double begin = static_cast<double>(i) * stride + offset;
+    windows.push_back({begin, begin + each});
+  }
+  return MultiSlotSupply(period, std::move(windows));
+}
+
+}  // namespace flexrt::hier

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "hier/supply.hpp"
+
+namespace flexrt::hier {
+
+/// Supply of a mode that receives SEVERAL usable windows per period -- the
+/// generalization the paper's §5 lists as future work ("the same
+/// fault-tolerance service during more than one time quantum per period").
+///
+/// The windows [begin_i, end_i) are fixed positions inside a repeating frame
+/// of length `period`. The worst-case supply in a window of length t is the
+/// minimum over all start positions; for a periodic piecewise-linear
+/// cumulative supply the minimum is attained starting at the end of one of
+/// the usable windows, so value() only evaluates those candidates.
+///
+/// Splitting a mode's allocation into k spread-out windows keeps the rate
+/// alpha but shrinks the service delay Delta (the longest no-supply gap),
+/// which is exactly what short-deadline tasks need; experiment E12
+/// quantifies the gain.
+class MultiSlotSupply final : public SupplyFunction {
+ public:
+  struct Window {
+    double begin = 0.0;
+    double end = 0.0;
+  };
+
+  /// Windows must be disjoint, ordered, and contained in [0, period).
+  MultiSlotSupply(double period, std::vector<Window> windows);
+
+  double value(double t) const noexcept override;
+  double rate() const noexcept override { return total_usable_ / period_; }
+  /// Longest gap without supply (wrapping around the frame boundary).
+  double delay() const noexcept override { return max_gap_; }
+
+  double period() const noexcept { return period_; }
+  std::size_t num_windows() const noexcept { return windows_.size(); }
+
+  /// Cumulative supply delivered in [0, x) when the pattern starts at 0.
+  double cumulative(double x) const noexcept;
+
+ private:
+  double supplied_between(double from, double to) const noexcept;
+
+  double period_;
+  std::vector<Window> windows_;
+  double total_usable_ = 0.0;
+  double max_gap_ = 0.0;
+};
+
+/// Evenly spreads a total usable budget over `k` windows: window i of
+/// length usable/k starting at i*period/k + offset. Helper for the design
+/// layer and the ablation bench.
+MultiSlotSupply evenly_split_supply(double period, double usable,
+                                    std::size_t k, double offset = 0.0);
+
+}  // namespace flexrt::hier

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "hier/supply.hpp"
+#include "rt/task_set.hpp"
+
+namespace flexrt::hier {
+
+/// Local scheduling algorithm used inside a time partition.
+enum class Scheduler {
+  FP,   ///< fixed priorities; task set sorted by decreasing priority
+  EDF,  ///< earliest deadline first
+};
+
+const char* to_string(Scheduler alg) noexcept;
+
+/// Paper Theorem 1 generalized to an arbitrary supply function:
+/// task set T is FP-schedulable in a partition with supply Z if
+///   for every task i, exists t in schedP_i with Z(t) >= W_i(t).
+/// With Z = LinearSupply(alpha, delta) this is exactly Eq. (4).
+bool fp_schedulable(const rt::TaskSet& ts, const SupplyFunction& supply);
+
+/// Paper Theorem 2 generalized to an arbitrary supply function:
+/// T is EDF-schedulable in the partition if U(T) <= rate and
+///   for every t in dlSet(T), Z(t) >= W(t)   (W = demand bound, Eq. 9).
+bool edf_schedulable(const rt::TaskSet& ts, const SupplyFunction& supply);
+
+/// Dispatch on the scheduler enum. For FP the set must already be in
+/// priority order (use rt::sort_rate_monotonic / sort_deadline_monotonic).
+bool schedulable(const rt::TaskSet& ts, Scheduler alg,
+                 const SupplyFunction& supply);
+
+}  // namespace flexrt::hier

@@ -1,0 +1,58 @@
+#include "hier/supply.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace flexrt::hier {
+
+LinearSupply::LinearSupply(double alpha, double delta)
+    : alpha_(alpha), delta_(delta) {
+  FLEXRT_REQUIRE(alpha > 0.0 && alpha <= 1.0 + 1e-12,
+                 "supply rate alpha must be in (0,1]");
+  FLEXRT_REQUIRE(delta >= 0.0, "supply delay must be >= 0");
+}
+
+double LinearSupply::value(double t) const noexcept {
+  return std::max(0.0, alpha_ * (t - delta_));
+}
+
+SlotSupply::SlotSupply(double period, double usable)
+    : period_(period), usable_(usable) {
+  FLEXRT_REQUIRE(period > 0.0, "slot supply period must be > 0");
+  FLEXRT_REQUIRE(usable >= 0.0 && usable <= period + 1e-12,
+                 "usable quantum must satisfy 0 <= q <= P");
+}
+
+double SlotSupply::value(double t) const noexcept {
+  if (t <= 0.0 || usable_ <= 0.0) return 0.0;
+  const double j = static_cast<double>(floor_ratio(t, period_));
+  // Within period j, supply stays flat at j*q until only the final q of the
+  // period remains, then ramps with slope 1.
+  const double flat = j * usable_;
+  const double ramp = t - (j + 1.0) * (period_ - usable_);
+  return std::max(flat, ramp);
+}
+
+LinearSupply SlotSupply::linear_bound() const noexcept {
+  return LinearSupply(usable_ / period_, period_ - usable_);
+}
+
+PeriodicResource::PeriodicResource(double period, double budget)
+    : period_(period), budget_(budget) {
+  FLEXRT_REQUIRE(period > 0.0, "resource period must be > 0");
+  FLEXRT_REQUIRE(budget > 0.0 && budget <= period + 1e-12,
+                 "budget must satisfy 0 < Theta <= Pi");
+}
+
+double PeriodicResource::value(double t) const noexcept {
+  const double shifted = t - (period_ - budget_);
+  if (shifted <= 0.0) return 0.0;
+  const double k = static_cast<double>(floor_ratio(shifted, period_));
+  const double within = shifted - k * period_;
+  return k * budget_ + std::max(0.0, within - (period_ - budget_));
+}
+
+}  // namespace flexrt::hier

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <memory>
+
+namespace flexrt::hier {
+
+/// A supply function Z(t): the minimum amount of execution time a time
+/// partition is guaranteed to provide in *any* window of length t
+/// (paper Def. 1). Implementations must be non-decreasing, 0 at t<=0, and
+/// super-additively bounded by rate() * t.
+class SupplyFunction {
+ public:
+  virtual ~SupplyFunction() = default;
+
+  /// Minimum supply in any window of length t (t < 0 is treated as 0).
+  virtual double value(double t) const noexcept = 0;
+
+  /// Long-run supply rate alpha = lim Z(t)/t.
+  virtual double rate() const noexcept = 0;
+
+  /// Service delay Delta: the largest t with Z(t) = 0 (for our shapes).
+  virtual double delay() const noexcept = 0;
+};
+
+/// Linear lower bound Z'(t) = max(0, alpha * (t - delta)) (paper Eq. 3).
+/// This is the supply model the paper's closed-form minQ is derived from.
+class LinearSupply final : public SupplyFunction {
+ public:
+  /// alpha in (0, 1], delta >= 0.
+  LinearSupply(double alpha, double delta);
+
+  double value(double t) const noexcept override;
+  double rate() const noexcept override { return alpha_; }
+  double delay() const noexcept override { return delta_; }
+
+ private:
+  double alpha_;
+  double delta_;
+};
+
+/// Exact supply of one slot of usable length q repeating every period p
+/// (paper Lemma 1):
+///   Z(t) = j*q                       if t in [j*p, (j+1)*p - q)
+///        = t - (j+1)*(p - q)         otherwise,        j = floor(t/p).
+/// Its linear lower bound has alpha = q/p and delta = p - q (paper Eq. 2).
+class SlotSupply final : public SupplyFunction {
+ public:
+  /// period p > 0, usable quantum 0 <= q <= p.
+  SlotSupply(double period, double usable);
+
+  double value(double t) const noexcept override;
+  double rate() const noexcept override { return usable_ / period_; }
+  double delay() const noexcept override { return period_ - usable_; }
+
+  double period() const noexcept { return period_; }
+  double usable() const noexcept { return usable_; }
+
+  /// The (alpha, delta) linear bound of this slot supply.
+  LinearSupply linear_bound() const noexcept;
+
+ private:
+  double period_;
+  double usable_;
+};
+
+/// Shin–Lee periodic resource model Gamma = (Pi, Theta): a budget Theta
+/// guaranteed somewhere within every period Pi (RTSS 2003, cited as [19]).
+/// Worst case: budget at the start of one period and at the end of the next,
+///   sbf(t) = floor(t'/Pi)*Theta + max(0, t' - (Pi - Theta) - floor(t'/Pi)*Pi)
+///   with t' = t - (Pi - Theta),  sbf(t) = 0 for t < Pi - Theta.
+/// Included for comparison with the paper's slot model (E4); the slot model
+/// pins the budget position inside the period and therefore supplies more.
+class PeriodicResource final : public SupplyFunction {
+ public:
+  PeriodicResource(double period, double budget);
+
+  double value(double t) const noexcept override;
+  double rate() const noexcept override { return budget_ / period_; }
+  /// Largest t with sbf(t)=0 is 2*(Pi - Theta).
+  double delay() const noexcept override { return 2.0 * (period_ - budget_); }
+
+ private:
+  double period_;
+  double budget_;
+};
+
+}  // namespace flexrt::hier

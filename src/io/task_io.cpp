@@ -1,0 +1,185 @@
+#include "io/task_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace flexrt::io {
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+std::optional<rt::Mode> parse_mode(const std::string& token) {
+  const std::string u = upper(token);
+  if (u == "FT") return rt::Mode::FT;
+  if (u == "FS") return rt::Mode::FS;
+  if (u == "NF") return rt::Mode::NF;
+  return std::nullopt;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw ModelError("task file line " + std::to_string(line) + ": " + what);
+}
+
+struct ParsedLine {
+  rt::Task task;
+  std::optional<std::size_t> channel;
+};
+
+std::optional<ParsedLine> parse_line(const std::string& raw, int line_no) {
+  const std::string line = raw.substr(0, raw.find('#'));
+  std::istringstream in(line);
+  std::string name;
+  if (!(in >> name)) return std::nullopt;  // blank / comment-only
+
+  double c = 0.0, t = 0.0;
+  if (!(in >> c >> t)) fail(line_no, "expected 'name C T [D] mode [channel]'");
+
+  // The next token is either D (a number) or the mode.
+  std::string token;
+  if (!(in >> token)) fail(line_no, "missing mode (FT/FS/NF)");
+  double d = t;
+  std::optional<rt::Mode> mode = parse_mode(token);
+  if (!mode) {
+    try {
+      std::size_t consumed = 0;
+      d = std::stod(token, &consumed);
+      if (consumed != token.size()) fail(line_no, "bad deadline '" + token + "'");
+    } catch (const std::invalid_argument&) {
+      fail(line_no, "expected deadline or mode, got '" + token + "'");
+    }
+    if (!(in >> token)) fail(line_no, "missing mode (FT/FS/NF)");
+    mode = parse_mode(token);
+    if (!mode) fail(line_no, "unknown mode '" + token + "'");
+  }
+
+  ParsedLine out;
+  try {
+    out.task = rt::make_task(name, c, t, d, *mode);
+  } catch (const ModelError& e) {
+    fail(line_no, e.what());
+  }
+  long long channel = -1;
+  if (in >> channel) {
+    if (channel < 0 ||
+        static_cast<std::size_t>(channel) >= core::num_channels(*mode)) {
+      fail(line_no, "channel " + std::to_string(channel) +
+                        " out of range for mode " + rt::to_string(*mode));
+    }
+    out.channel = static_cast<std::size_t>(channel);
+  }
+  std::string rest;
+  if (in >> rest) fail(line_no, "trailing token '" + rest + "'");
+  return out;
+}
+
+std::vector<ParsedLine> parse_lines(std::istream& in) {
+  std::vector<ParsedLine> out;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (auto parsed = parse_line(raw, line_no)) out.push_back(std::move(*parsed));
+  }
+  return out;
+}
+
+}  // namespace
+
+rt::TaskSet parse_task_set(std::istream& in) {
+  rt::TaskSet ts;
+  for (ParsedLine& p : parse_lines(in)) ts.add(std::move(p.task));
+  return ts;
+}
+
+rt::TaskSet parse_task_set_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_task_set(in);
+}
+
+ParsedSystem parse_mode_task_system(std::istream& in,
+                                    const part::PackOptions& pack) {
+  const std::vector<ParsedLine> lines = parse_lines(in);
+  ParsedSystem out;
+
+  // Pinned tasks go straight to their channel; the rest are packed around
+  // them (channel loads seeded with the pinned utilizations would be
+  // better, but packing the leftovers into the least-loaded bins including
+  // the pinned load is what worst-fit below achieves via bin_capacity).
+  std::array<std::vector<rt::TaskSet>, 3> parts;
+  for (const rt::Mode mode : core::kAllModes) {
+    parts[static_cast<std::size_t>(mode)].resize(core::num_channels(mode));
+  }
+  rt::TaskSet unpinned;
+  for (const ParsedLine& p : lines) {
+    if (p.channel) {
+      out.had_explicit_channels = true;
+      parts[static_cast<std::size_t>(p.task.mode)][*p.channel].add(p.task);
+    } else {
+      unpinned.add(p.task);
+    }
+  }
+  for (const rt::Mode mode : core::kAllModes) {
+    auto& mode_parts = parts[static_cast<std::size_t>(mode)];
+    const rt::TaskSet todo = unpinned.by_mode(mode);
+    if (todo.empty()) continue;
+    // Pack unpinned tasks into bins pre-loaded with the pinned tasks.
+    std::vector<double> preload(mode_parts.size());
+    for (std::size_t b = 0; b < mode_parts.size(); ++b) {
+      preload[b] = mode_parts[b].utilization();
+    }
+    // Simple worst-fit respecting the preload.
+    std::vector<rt::Task> tasks(todo.begin(), todo.end());
+    if (pack.sort_decreasing) {
+      std::stable_sort(tasks.begin(), tasks.end(),
+                       [](const rt::Task& a, const rt::Task& b) {
+                         return a.utilization() > b.utilization();
+                       });
+    }
+    for (rt::Task& task : tasks) {
+      std::size_t best = mode_parts.size();
+      double best_load = 2.0;
+      for (std::size_t b = 0; b < mode_parts.size(); ++b) {
+        const double load = preload[b];
+        if (load + task.utilization() <= pack.bin_capacity + 1e-12 &&
+            load < best_load) {
+          best = b;
+          best_load = load;
+        }
+      }
+      FLEXRT_REQUIRE(best < mode_parts.size(),
+                     "task " + task.name + " does not fit any channel of " +
+                         rt::to_string(mode));
+      preload[best] += task.utilization();
+      mode_parts[best].add(std::move(task));
+    }
+  }
+  out.system = core::ModeTaskSystem(
+      std::move(parts[0]), std::move(parts[1]), std::move(parts[2]));
+  return out;
+}
+
+ParsedSystem parse_mode_task_system_string(const std::string& text,
+                                           const part::PackOptions& pack) {
+  std::istringstream in(text);
+  return parse_mode_task_system(in, pack);
+}
+
+void write_task_set(std::ostream& os, const rt::TaskSet& ts) {
+  for (const rt::Task& t : ts) {
+    os << t.name << ' ' << t.wcet << ' ' << t.period;
+    if (t.deadline != t.period) os << ' ' << t.deadline;
+    os << ' ' << rt::to_string(t.mode) << '\n';
+  }
+}
+
+}  // namespace flexrt::io

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/mode_system.hpp"
+#include "part/bin_packing.hpp"
+#include "rt/task_set.hpp"
+
+namespace flexrt::io {
+
+/// Plain-text task-set format, one task per line:
+///
+///   name  C  T  [D]  mode  [channel]
+///
+/// where mode is FT, FS or NF (case-insensitive), D defaults to T, and
+/// channel optionally pins the task to a channel of its mode (0-based;
+/// 0 for FT, 0-1 for FS, 0-3 for NF). '#' starts a comment; blank lines are
+/// skipped. Example:
+///
+///   # the paper's FS subset, manually partitioned
+///   tau6  1 10  FS 0
+///   tau9  1  4  FS 1
+///
+/// This is the input format of the flexrt_design command-line tool.
+
+/// Parses a task set; throws ModelError with a line number on bad input.
+rt::TaskSet parse_task_set(std::istream& in);
+rt::TaskSet parse_task_set_string(const std::string& text);
+
+/// Per-task channel pins harvested by parse_mode_task_system.
+struct ParsedSystem {
+  core::ModeTaskSystem system;
+  bool had_explicit_channels = false;
+};
+
+/// Parses tasks AND builds the per-mode channel partition: tasks with an
+/// explicit channel go there; the rest are packed with `pack`. Throws when
+/// an explicit channel index is out of range for the mode or when the
+/// packing of unpinned tasks fails.
+ParsedSystem parse_mode_task_system(std::istream& in,
+                                    const part::PackOptions& pack = {});
+ParsedSystem parse_mode_task_system_string(const std::string& text,
+                                           const part::PackOptions& pack = {});
+
+/// Renders a task set back into the file format (stable round-trip).
+void write_task_set(std::ostream& os, const rt::TaskSet& ts);
+
+}  // namespace flexrt::io

@@ -1,0 +1,102 @@
+#include "part/bin_packing.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace flexrt::part {
+
+const char* to_string(Heuristic h) noexcept {
+  switch (h) {
+    case Heuristic::FirstFit:
+      return "first-fit";
+    case Heuristic::BestFit:
+      return "best-fit";
+    case Heuristic::WorstFit:
+      return "worst-fit";
+    case Heuristic::NextFit:
+      return "next-fit";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Index of the bin chosen by the heuristic, or npos if the task fits
+/// nowhere.
+std::size_t choose_bin(const std::vector<double>& load, double u,
+                       double capacity, Heuristic h, std::size_t& cursor) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  const double eps = 1e-12;
+  switch (h) {
+    case Heuristic::FirstFit:
+      for (std::size_t b = 0; b < load.size(); ++b) {
+        if (load[b] + u <= capacity + eps) return b;
+      }
+      return npos;
+    case Heuristic::BestFit: {
+      std::size_t best = npos;
+      double best_load = -1.0;
+      for (std::size_t b = 0; b < load.size(); ++b) {
+        if (load[b] + u <= capacity + eps && load[b] > best_load) {
+          best = b;
+          best_load = load[b];
+        }
+      }
+      return best;
+    }
+    case Heuristic::WorstFit: {
+      std::size_t best = npos;
+      double best_load = std::numeric_limits<double>::infinity();
+      for (std::size_t b = 0; b < load.size(); ++b) {
+        if (load[b] + u <= capacity + eps && load[b] < best_load) {
+          best = b;
+          best_load = load[b];
+        }
+      }
+      return best;
+    }
+    case Heuristic::NextFit:
+      for (; cursor < load.size(); ++cursor) {
+        if (load[cursor] + u <= capacity + eps) return cursor;
+      }
+      return npos;
+  }
+  return npos;
+}
+
+}  // namespace
+
+std::optional<std::vector<rt::TaskSet>> pack(const rt::TaskSet& ts,
+                                             std::size_t bins,
+                                             const PackOptions& options) {
+  FLEXRT_REQUIRE(bins > 0, "need at least one bin");
+  std::vector<rt::Task> tasks(ts.begin(), ts.end());
+  if (options.sort_decreasing) {
+    std::stable_sort(tasks.begin(), tasks.end(),
+                     [](const rt::Task& a, const rt::Task& b) {
+                       return a.utilization() > b.utilization();
+                     });
+  }
+  std::vector<rt::TaskSet> out(bins);
+  std::vector<double> load(bins, 0.0);
+  std::size_t cursor = 0;
+  for (rt::Task& t : tasks) {
+    const double u = t.utilization();
+    const std::size_t b = choose_bin(load, u, options.bin_capacity,
+                                     options.heuristic, cursor);
+    if (b == static_cast<std::size_t>(-1)) return std::nullopt;
+    load[b] += u;
+    out[b].add(std::move(t));
+  }
+  return out;
+}
+
+double max_bin_utilization(const std::vector<rt::TaskSet>& bins) noexcept {
+  double worst = 0.0;
+  for (const rt::TaskSet& b : bins) worst = std::max(worst, b.utilization());
+  return worst;
+}
+
+}  // namespace flexrt::part

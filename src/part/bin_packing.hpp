@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "rt/task_set.hpp"
+
+namespace flexrt::part {
+
+/// Bin-packing heuristics for assigning tasks to the channels of a mode
+/// (2 channels in FS mode, 4 in NF mode). The paper assumes a manual
+/// partition and cites Baruah [6] for automatic ones; these are the classic
+/// utilization-driven heuristics evaluated in experiment E10.
+enum class Heuristic {
+  FirstFit,  ///< first bin where the task fits
+  BestFit,   ///< fullest bin where the task fits
+  WorstFit,  ///< emptiest bin (balances load; best for minimizing max bin)
+  NextFit,   ///< current bin or the next empty one
+};
+
+const char* to_string(Heuristic h) noexcept;
+
+/// Options controlling a packing run.
+struct PackOptions {
+  Heuristic heuristic = Heuristic::WorstFit;
+  bool sort_decreasing = true;  ///< process tasks by decreasing utilization
+  double bin_capacity = 1.0;    ///< utilization capacity per channel
+};
+
+/// Partitions `ts` into at most `bins` task sets such that each bin's
+/// utilization stays <= capacity. Returns nullopt when some task does not
+/// fit anywhere. Bins keep tasks in processing order; empty bins are
+/// returned too (size of result == bins).
+std::optional<std::vector<rt::TaskSet>> pack(const rt::TaskSet& ts,
+                                             std::size_t bins,
+                                             const PackOptions& options = {});
+
+/// Largest per-bin utilization of a partition (the quantity the mode's
+/// quantum must cover, Eq. 13/14 take a max over channels).
+double max_bin_utilization(const std::vector<rt::TaskSet>& bins) noexcept;
+
+}  // namespace flexrt::part

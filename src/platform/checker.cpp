@@ -1,0 +1,62 @@
+#include "platform/checker.hpp"
+
+#include <bit>
+
+namespace flexrt::platform {
+
+CoreMask channel_cores(rt::Mode mode, std::size_t channel) noexcept {
+  switch (mode) {
+    case rt::Mode::FT:
+      return 0b1111;
+    case rt::Mode::FS:
+      return channel == 0 ? CoreMask{0b0011} : CoreMask{0b1100};
+    case rt::Mode::NF:
+      return static_cast<CoreMask>(1u << channel);
+  }
+  return 0;
+}
+
+std::size_t core_channel(rt::Mode mode, CoreId core) noexcept {
+  switch (mode) {
+    case rt::Mode::FT:
+      return 0;
+    case rt::Mode::FS:
+      return core / 2;
+    case rt::Mode::NF:
+      return core;
+  }
+  return 0;
+}
+
+const char* to_string(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::Ok:
+      return "ok";
+    case Verdict::Masked:
+      return "masked";
+    case Verdict::Silenced:
+      return "silenced";
+    case Verdict::Corrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+Verdict evaluate(rt::Mode mode, std::size_t channel, CoreMask faulty) noexcept {
+  const CoreMask members = channel_cores(mode, channel);
+  const int bad = std::popcount(static_cast<unsigned>(members & faulty));
+  if (bad == 0) return Verdict::Ok;
+  switch (mode) {
+    case rt::Mode::FT:
+      // 4 replicas: a single bad replica is out-voted 3:1. Two or more bad
+      // replicas leave no strict majority we can trust -> fail silent.
+      return bad == 1 ? Verdict::Masked : Verdict::Silenced;
+    case rt::Mode::FS:
+      return Verdict::Silenced;
+    case rt::Mode::NF:
+      return Verdict::Corrupt;
+  }
+  return Verdict::Corrupt;
+}
+
+}  // namespace flexrt::platform

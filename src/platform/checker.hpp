@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "rt/task.hpp"
+
+namespace flexrt::platform {
+
+/// Number of cores of the platform (paper Fig. 1).
+inline constexpr std::size_t kNumCores = 4;
+
+/// Identifier of one core, 0..3.
+using CoreId = std::size_t;
+
+/// Bitmask over cores (bit c = core c).
+using CoreMask = std::uint8_t;
+
+/// Cores forming channel `channel` in a given mode (paper §2.4):
+///   FT: one channel {0,1,2,3};  FS: {0,1} and {2,3};  NF: {c} each.
+CoreMask channel_cores(rt::Mode mode, std::size_t channel) noexcept;
+
+/// Channel that core `core` belongs to in a given mode.
+std::size_t core_channel(rt::Mode mode, CoreId core) noexcept;
+
+/// Verdict of the checker when a channel presents its outputs.
+enum class Verdict {
+  Ok,        ///< all replicas agree, output forwarded to the bus
+  Masked,    ///< disagreement out-voted by the majority (FT channel)
+  Silenced,  ///< disagreement detected, bus access blocked (FS channel)
+  Corrupt,   ///< no replication: wrong value reaches the bus (NF channel)
+};
+
+const char* to_string(Verdict verdict) noexcept;
+
+/// The checker of the paper's platform (Fig. 1): compares the outputs of the
+/// cores of a channel and decides what reaches the bus. `faulty` is the set
+/// of cores whose execution was corrupted by a transient fault; the checker
+/// sees only the resulting output disagreement.
+///
+/// FT (4-way redundant lock-step): a strict majority of correct replicas
+/// masks the fault. With >= 2 faulty cores the vote is unsafe and the
+/// channel is silenced instead (cannot happen under the single-transient-
+/// fault assumption, but the logic is total).
+/// FS (2-way lock-step): any disagreement silences the channel.
+/// NF: the single core's output is forwarded unchecked.
+Verdict evaluate(rt::Mode mode, std::size_t channel, CoreMask faulty) noexcept;
+
+}  // namespace flexrt::platform

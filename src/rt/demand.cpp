@@ -1,0 +1,51 @@
+#include "rt/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace flexrt::rt {
+
+double fp_workload(const TaskSet& ts, std::size_t i, double t) {
+  FLEXRT_REQUIRE(i < ts.size(), "task index out of range");
+  double w = ts[i].wcet;
+  for (std::size_t j = 0; j < i; ++j) {
+    w += static_cast<double>(ceil_ratio(t, ts[j].period)) * ts[j].wcet;
+  }
+  return w;
+}
+
+double edf_demand(const TaskSet& ts, double t) {
+  double w = 0.0;
+  for (const Task& task : ts) {
+    const std::int64_t jobs =
+        floor_ratio(t + task.period - task.deadline, task.period);
+    if (jobs > 0) w += static_cast<double>(jobs) * task.wcet;
+  }
+  return w;
+}
+
+std::vector<double> deadline_set(const TaskSet& ts, double horizon) {
+  if (ts.empty()) return {};
+  if (horizon <= 0.0) horizon = ts.hyperperiod();
+  FLEXRT_REQUIRE(std::isfinite(horizon),
+                 "hyperperiod overflow: pass an explicit horizon");
+  std::vector<double> points;
+  for (const Task& task : ts) {
+    for (double d = task.deadline; d <= horizon * (1.0 + 1e-12);
+         d += task.period) {
+      points.push_back(d);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](double a, double b) {
+                             return almost_equal(a, b, 1e-12, 1e-12);
+                           }),
+               points.end());
+  return points;
+}
+
+}  // namespace flexrt::rt

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+
+/// FP workload of task index `i` over a window of length t (paper Eq. 5):
+/// W_i(t) = C_i + sum_{j < i} ceil(t/T_j) C_j.
+/// The set must be sorted by decreasing priority; higher-priority tasks are
+/// exactly those with index < i.
+double fp_workload(const TaskSet& ts, std::size_t i, double t);
+
+/// EDF demand bound function over a window of length t (paper Eq. 9):
+/// W(t) = sum_i max(floor((t + T_i - D_i)/T_i), 0) * C_i.
+double edf_demand(const TaskSet& ts, double t);
+
+/// dlSet(T): every distinct absolute deadline d = k*T_i + D_i with
+/// 0 < d <= horizon, sorted ascending (paper Thm 2 checks these points).
+/// `horizon` defaults to the hyperperiod when non-positive.
+std::vector<double> deadline_set(const TaskSet& ts, double horizon = 0.0);
+
+}  // namespace flexrt::rt

@@ -1,0 +1,27 @@
+#include "rt/edf_test.hpp"
+
+#include <algorithm>
+
+#include "common/math_util.hpp"
+#include "rt/demand.hpp"
+
+namespace flexrt::rt {
+
+bool edf_schedulable(const TaskSet& ts) {
+  if (ts.empty()) return true;
+  if (ts.utilization() > 1.0 + 1e-12) return false;
+  for (const double t : deadline_set(ts)) {
+    if (!leq_tol(edf_demand(ts, t), t)) return false;
+  }
+  return true;
+}
+
+double edf_demand_ratio(const TaskSet& ts) {
+  double worst = 0.0;
+  for (const double t : deadline_set(ts)) {
+    worst = std::max(worst, edf_demand(ts, t) / t);
+  }
+  return worst;
+}
+
+}  // namespace flexrt::rt

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+
+/// Processor-demand analysis for EDF on a dedicated processor (Baruah et
+/// al.): schedulable iff U <= 1 and dbf(t) <= t at every absolute deadline up
+/// to the hyperperiod. For implicit deadlines this reduces to U <= 1.
+bool edf_schedulable(const TaskSet& ts);
+
+/// Maximum demand ratio max_t dbf(t)/t over the deadline set; <= 1 iff
+/// schedulable. Useful as a "how close to the edge" metric in benches.
+double edf_demand_ratio(const TaskSet& ts);
+
+}  // namespace flexrt::rt

@@ -1,0 +1,41 @@
+#include "rt/priority.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace flexrt::rt {
+namespace {
+
+template <typename Key>
+TaskSet stable_sorted(const TaskSet& ts, Key key) {
+  std::vector<Task> tasks(ts.begin(), ts.end());
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [&](const Task& a, const Task& b) { return key(a) < key(b); });
+  return TaskSet(std::move(tasks));
+}
+
+}  // namespace
+
+TaskSet sort_rate_monotonic(const TaskSet& ts) {
+  return stable_sorted(ts, [](const Task& t) { return t.period; });
+}
+
+TaskSet sort_deadline_monotonic(const TaskSet& ts) {
+  return stable_sorted(ts, [](const Task& t) { return t.deadline; });
+}
+
+bool is_rate_monotonic_order(const TaskSet& ts) noexcept {
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i].period < ts[i - 1].period) return false;
+  }
+  return true;
+}
+
+bool is_deadline_monotonic_order(const TaskSet& ts) noexcept {
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i].deadline < ts[i - 1].deadline) return false;
+  }
+  return true;
+}
+
+}  // namespace flexrt::rt

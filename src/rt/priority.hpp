@@ -1,0 +1,24 @@
+#pragma once
+
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+
+/// Priority orderings for fixed-priority (FP) scheduling. All FP analyses in
+/// this library take the task set *already sorted by decreasing priority*
+/// (index 0 = highest); these helpers produce such orderings.
+
+/// Rate Monotonic: shorter period = higher priority. Stable on ties.
+TaskSet sort_rate_monotonic(const TaskSet& ts);
+
+/// Deadline Monotonic: shorter relative deadline = higher priority; optimal
+/// for constrained-deadline sporadic tasks under FP. Stable on ties.
+TaskSet sort_deadline_monotonic(const TaskSet& ts);
+
+/// True if the set is sorted by non-decreasing period (valid RM order).
+bool is_rate_monotonic_order(const TaskSet& ts) noexcept;
+
+/// True if the set is sorted by non-decreasing relative deadline.
+bool is_deadline_monotonic_order(const TaskSet& ts) noexcept;
+
+}  // namespace flexrt::rt

@@ -1,0 +1,48 @@
+#include "rt/rta.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace flexrt::rt {
+
+std::optional<double> response_time_with_interference(const TaskSet& ts,
+                                                      std::size_t level,
+                                                      double wcet,
+                                                      double deadline) {
+  FLEXRT_REQUIRE(level <= ts.size(), "interference level out of range");
+  double r = wcet;
+  // Fixed-point iteration R = C + sum ceil(R/T_j) C_j; monotone, so it either
+  // converges or crosses the deadline.
+  for (;;) {
+    double next = wcet;
+    for (std::size_t j = 0; j < level; ++j) {
+      next += static_cast<double>(ceil_ratio(r, ts[j].period)) * ts[j].wcet;
+    }
+    if (almost_equal(next, r)) return next;
+    if (next > deadline * (1.0 + 1e-12)) return std::nullopt;
+    r = next;
+  }
+}
+
+std::optional<double> response_time(const TaskSet& ts, std::size_t i) {
+  FLEXRT_REQUIRE(i < ts.size(), "task index out of range");
+  return response_time_with_interference(ts, i, ts[i].wcet, ts[i].deadline);
+}
+
+bool fp_schedulable(const TaskSet& ts) {
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (!response_time(ts, i).has_value()) return false;
+  }
+  return true;
+}
+
+std::vector<std::optional<double>> response_times(const TaskSet& ts) {
+  std::vector<std::optional<double>> out;
+  out.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) out.push_back(response_time(ts, i));
+  return out;
+}
+
+}  // namespace flexrt::rt

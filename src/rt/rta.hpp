@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+
+/// Classic fixed-priority response-time analysis on a dedicated processor
+/// (Joseph & Pandya / Audsley). Used by the primary/backup baseline and as a
+/// cross-check of the hierarchical FP test when alpha=1, Delta=0.
+///
+/// The task set must be sorted by decreasing priority.
+
+/// Worst-case response time of task i, or nullopt if the fixed-point
+/// iteration exceeds the deadline (task unschedulable).
+std::optional<double> response_time(const TaskSet& ts, std::size_t i);
+
+/// Worst-case response time of a job with WCET `wcet` executing at the
+/// priority level just below task index `level-1` (i.e. suffering
+/// interference from tasks 0..level-1 of `ts`), with deadline `deadline`.
+/// Building block for backup-copy analysis where the backup is not a member
+/// of the interfering set. Returns nullopt if it cannot finish by `deadline`.
+std::optional<double> response_time_with_interference(const TaskSet& ts,
+                                                      std::size_t level,
+                                                      double wcet,
+                                                      double deadline);
+
+/// True iff every task meets its deadline under FP on a dedicated processor.
+bool fp_schedulable(const TaskSet& ts);
+
+/// Response times for all tasks (nullopt entries for unschedulable tasks).
+std::vector<std::optional<double>> response_times(const TaskSet& ts);
+
+}  // namespace flexrt::rt

@@ -1,0 +1,42 @@
+#include "rt/sched_points.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace flexrt::rt {
+namespace {
+
+// Recursive expansion of P_j(t). `j` counts how many of the higher-priority
+// tasks (indices 0..j-1) are still to be applied.
+void expand(const TaskSet& ts, std::size_t j, double t,
+            std::vector<double>& out) {
+  if (j == 0) {
+    if (t > 0.0) out.push_back(t);
+    return;
+  }
+  const double period = ts[j - 1].period;
+  const double snapped =
+      static_cast<double>(floor_ratio(t, period)) * period;
+  expand(ts, j - 1, snapped, out);
+  expand(ts, j - 1, t, out);
+}
+
+}  // namespace
+
+std::vector<double> scheduling_points(const TaskSet& ts, std::size_t i) {
+  FLEXRT_REQUIRE(i < ts.size(), "task index out of range");
+  std::vector<double> points;
+  expand(ts, i, ts[i].deadline, points);
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](double a, double b) {
+                             return almost_equal(a, b, 1e-12, 1e-12);
+                           }),
+               points.end());
+  return points;
+}
+
+}  // namespace flexrt::rt

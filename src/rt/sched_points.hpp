@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+
+/// Bini–Buttazzo scheduling points schedP_i (IEEE TC 2004, cited as [10] in
+/// the paper): the smallest set of time points at which the FP feasibility
+/// inequality needs checking for task i.
+///
+/// Defined recursively on the higher-priority tasks (set sorted by
+/// decreasing priority, index 0 highest):
+///   P_0(t)   = { t }
+///   P_j(t)   = P_{j-1}( floor(t/T_j) * T_j )  ∪  P_{j-1}(t)
+///   schedP_i = P_i(D_i)                     (j runs over tasks 0..i-1)
+///
+/// Returns the points sorted ascending with duplicates removed; all points
+/// are > 0 (a floor can hit 0, which is never a useful test point and is
+/// dropped).
+std::vector<double> scheduling_points(const TaskSet& ts, std::size_t i);
+
+}  // namespace flexrt::rt

@@ -1,0 +1,42 @@
+#include "rt/task.hpp"
+
+#include "common/error.hpp"
+
+namespace flexrt::rt {
+
+const char* to_string(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::FT:
+      return "FT";
+    case Mode::FS:
+      return "FS";
+    case Mode::NF:
+      return "NF";
+  }
+  return "??";
+}
+
+Task make_task(std::string name, double wcet, double period, Mode mode) {
+  Task t{std::move(name), wcet, period, period, mode};
+  validate(t);
+  return t;
+}
+
+Task make_task(std::string name, double wcet, double period, double deadline,
+               Mode mode) {
+  Task t{std::move(name), wcet, period, deadline, mode};
+  validate(t);
+  return t;
+}
+
+void validate(const Task& task) {
+  FLEXRT_REQUIRE(task.wcet > 0.0, "task " + task.name + ": C must be > 0");
+  FLEXRT_REQUIRE(task.period > 0.0, "task " + task.name + ": T must be > 0");
+  FLEXRT_REQUIRE(task.deadline > 0.0, "task " + task.name + ": D must be > 0");
+  FLEXRT_REQUIRE(task.deadline <= task.period,
+                 "task " + task.name + ": constrained deadline D <= T required");
+  FLEXRT_REQUIRE(task.wcet <= task.deadline,
+                 "task " + task.name + ": C <= D required for feasibility");
+}
+
+}  // namespace flexrt::rt

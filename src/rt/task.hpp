@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+namespace flexrt::rt {
+
+/// Fault-robustness operating mode required by a task (paper §2.2).
+enum class Mode {
+  FT,  ///< fault-tolerant: single transient fault is masked (4-way lock-step)
+  FS,  ///< fail-silent: fault is detected, channel silenced (2-way lock-step)
+  NF,  ///< non-fault-tolerant: full parallelism, no guarantee
+};
+
+/// Short uppercase name ("FT"/"FS"/"NF").
+const char* to_string(Mode mode) noexcept;
+
+/// A sporadic real-time task (paper §2.3): worst-case execution time C,
+/// minimum interarrival time T, constrained relative deadline D <= T, and the
+/// required operating mode. Times are in the paper's abstract time units.
+struct Task {
+  std::string name;     ///< identifier used in traces and tables
+  double wcet = 0.0;    ///< C_i: worst-case computation time, > 0
+  double period = 0.0;  ///< T_i: minimum interarrival time, > 0
+  double deadline = 0.0;  ///< D_i: relative deadline, 0 < D_i <= T_i
+  Mode mode = Mode::NF;   ///< required operating mode
+
+  /// Utilization U_i = C_i / T_i.
+  double utilization() const noexcept { return wcet / period; }
+};
+
+/// Builds a task with implicit deadline (D = T).
+Task make_task(std::string name, double wcet, double period,
+               Mode mode = Mode::NF);
+
+/// Builds a task with an explicit constrained deadline.
+Task make_task(std::string name, double wcet, double period, double deadline,
+               Mode mode);
+
+/// Validates C > 0, T > 0, 0 < D <= T; throws ModelError otherwise.
+void validate(const Task& task);
+
+}  // namespace flexrt::rt

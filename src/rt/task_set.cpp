@@ -1,0 +1,58 @@
+#include "rt/task_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+
+namespace flexrt::rt {
+
+TaskSet::TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  for (const Task& t : tasks_) validate(t);
+}
+
+TaskSet::TaskSet(std::initializer_list<Task> tasks)
+    : TaskSet(std::vector<Task>(tasks)) {}
+
+void TaskSet::add(Task task) {
+  validate(task);
+  tasks_.push_back(std::move(task));
+}
+
+double TaskSet::utilization() const noexcept {
+  double u = 0.0;
+  for (const Task& t : tasks_) u += t.utilization();
+  return u;
+}
+
+double TaskSet::max_utilization() const noexcept {
+  double u = 0.0;
+  for (const Task& t : tasks_) u = std::max(u, t.utilization());
+  return u;
+}
+
+double TaskSet::hyperperiod(double resolution) const {
+  std::vector<std::int64_t> scaled;
+  scaled.reserve(tasks_.size());
+  for (const Task& t : tasks_) {
+    const double exact = t.period / resolution;
+    const double rounded = std::round(exact);
+    FLEXRT_REQUIRE(std::fabs(exact - rounded) <= 1e-6 * std::max(1.0, exact),
+                   "period of " + t.name +
+                       " is not representable on the resolution grid");
+    scaled.push_back(static_cast<std::int64_t>(rounded));
+  }
+  const std::int64_t h = lcm_saturating(scaled);
+  if (h == std::numeric_limits<std::int64_t>::max()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(h) * resolution;
+}
+
+TaskSet TaskSet::by_mode(Mode mode) const {
+  return filtered([mode](const Task& t) { return t.mode == mode; });
+}
+
+}  // namespace flexrt::rt

@@ -1,0 +1,23 @@
+#include "rt/util_bounds.hpp"
+
+#include <cmath>
+
+namespace flexrt::rt {
+
+double liu_layland_bound(std::size_t n) noexcept {
+  if (n == 0) return 1.0;
+  const double nn = static_cast<double>(n);
+  return nn * (std::pow(2.0, 1.0 / nn) - 1.0);
+}
+
+bool rm_liu_layland_schedulable(const TaskSet& ts) noexcept {
+  return ts.utilization() <= liu_layland_bound(ts.size()) + 1e-12;
+}
+
+bool rm_hyperbolic_schedulable(const TaskSet& ts) noexcept {
+  double prod = 1.0;
+  for (const Task& t : ts) prod *= t.utilization() + 1.0;
+  return prod <= 2.0 + 1e-12;
+}
+
+}  // namespace flexrt::rt

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+
+/// Liu–Layland utilization bound for RM with n tasks: n(2^{1/n} - 1).
+double liu_layland_bound(std::size_t n) noexcept;
+
+/// Sufficient RM test: U(T) <= n(2^{1/n} - 1).
+bool rm_liu_layland_schedulable(const TaskSet& ts) noexcept;
+
+/// Hyperbolic bound (Bini–Buttazzo): prod (U_i + 1) <= 2. Sufficient for RM,
+/// strictly dominates Liu–Layland.
+bool rm_hyperbolic_schedulable(const TaskSet& ts) noexcept;
+
+}  // namespace flexrt::rt

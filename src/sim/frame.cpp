@@ -1,0 +1,105 @@
+#include "sim/frame.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexrt::sim {
+namespace {
+
+/// Usable length rounded down, slot end rounded up: the simulated platform
+/// never supplies more than the analysed one.
+FrameLayout::Window make_window(rt::Mode mode, Ticks begin, double usable,
+                                double total) {
+  FrameLayout::Window w;
+  w.mode = mode;
+  w.begin = begin;
+  const Ticks usable_ticks = static_cast<Ticks>(
+      usable * static_cast<double>(TICKS_PER_UNIT));
+  w.usable_end = begin + std::max<Ticks>(0, usable_ticks);
+  w.end = begin + std::max(usable_ticks, to_ticks(total));
+  return w;
+}
+
+}  // namespace
+
+FrameLayout::FrameLayout(const core::ModeSchedule& schedule) {
+  schedule.validate();
+  Ticks cursor = 0;
+  for (const rt::Mode mode : core::kAllModes) {
+    const core::Slot& slot = schedule.slot(mode);
+    const Window w = make_window(mode, cursor, slot.usable, slot.total());
+    windows_.push_back(w);
+    cursor = w.end;
+  }
+  finish_construction(schedule.period);
+}
+
+FrameLayout::FrameLayout(const core::GeneralFrame& frame) {
+  Ticks cursor = 0;
+  for (const core::GeneralSlot& slot : frame.slots()) {
+    const Window w = make_window(slot.mode, cursor, slot.usable, slot.total());
+    windows_.push_back(w);
+    cursor = w.end;
+  }
+  finish_construction(frame.period());
+}
+
+void FrameLayout::finish_construction(double period_units) {
+  period_ = std::max<Ticks>(1, to_ticks(period_units));
+  if (windows_.empty()) return;
+  // Rounding every slot end up can overflow a zero-slack frame by a tick
+  // per slot; clamp the tail back into the frame (this only removes
+  // supply, never adds it). Anything beyond that tolerance is a genuinely
+  // overfull schedule.
+  const Ticks excess = windows_.back().end - period_;
+  FLEXRT_REQUIRE(excess <= 2 * static_cast<Ticks>(windows_.size()),
+                 "tick-rounded slots exceed the frame period");
+  for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+    it->end = std::min(it->end, period_);
+    it->usable_end = std::min(it->usable_end, it->end);
+    it->begin = std::min(it->begin, it->usable_end);
+  }
+}
+
+const FrameLayout::Window& FrameLayout::window(rt::Mode mode) const {
+  for (const Window& w : windows_) {
+    if (w.mode == mode) return w;
+  }
+  throw ModelError(std::string("mode ") + rt::to_string(mode) +
+                   " has no window in the frame");
+}
+
+FrameLayout::Position FrameLayout::locate(Ticks t) const noexcept {
+  const Ticks rel = t % period_;
+  for (const Window& w : windows_) {
+    if (rel >= w.begin && rel < w.end) {
+      return {w.mode, rel < w.usable_end, true};
+    }
+  }
+  return {rt::Mode::NF, false, false};  // frame slack
+}
+
+Ticks FrameLayout::next_window_begin(rt::Mode mode, Ticks t) const noexcept {
+  const Ticks frame = frame_start(t);
+  // Check this frame's windows, then wrap into the next frame.
+  for (const Window& w : windows_) {
+    if (w.mode == mode && frame + w.begin >= t) return frame + w.begin;
+  }
+  for (const Window& w : windows_) {
+    if (w.mode == mode) return frame + period_ + w.begin;
+  }
+  return t;  // mode has no window at all
+}
+
+Ticks FrameLayout::usable_end_at(Ticks t) const noexcept {
+  const Ticks rel = t % period_;
+  for (const Window& w : windows_) {
+    if (rel >= w.begin && rel < w.usable_end) {
+      return frame_start(t) + w.usable_end;
+    }
+  }
+  return t;
+}
+
+}  // namespace flexrt::sim

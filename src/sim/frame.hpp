@@ -1,0 +1,72 @@
+#pragma once
+
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "core/general_frame.hpp"
+#include "core/schedule.hpp"
+
+namespace flexrt::sim {
+
+/// Tick-exact layout of one mode-switching frame: an ordered list of slots,
+/// each a usable window followed by its switch-out overhead, with any slack
+/// at the end of the frame. Built either from a classic three-slot
+/// ModeSchedule (paper Fig. 2) or from a generalized multi-visit
+/// core::GeneralFrame (the §5 extension).
+///
+/// Conversion from real-valued schedules rounds each usable window *down*
+/// and each slot boundary *up* to the tick grid (1 tick = 1e-6 time units),
+/// so the simulated platform never supplies more than the analysed one;
+/// zero-margin designs can therefore miss by O(tick) in simulation, which
+/// the validation experiments absorb with an epsilon margin.
+class FrameLayout {
+ public:
+  /// One slot's window relative to the frame start.
+  struct Window {
+    rt::Mode mode = rt::Mode::FT;
+    Ticks begin = 0;       ///< first tick of the slot
+    Ticks usable_end = 0;  ///< end of the usable part (exclusive)
+    Ticks end = 0;         ///< end of the slot including overhead (exclusive)
+  };
+
+  /// Where a given instant falls within the frame structure.
+  struct Position {
+    rt::Mode mode = rt::Mode::FT;  ///< slot owning the instant (if any)
+    bool in_usable = false;        ///< inside the usable part of that slot
+    bool in_slot = false;          ///< inside any slot (else: frame slack)
+  };
+
+  /// Builds the classic FT/FS/NF three-slot layout.
+  explicit FrameLayout(const core::ModeSchedule& schedule);
+
+  /// Builds a generalized layout with possibly many windows per mode.
+  explicit FrameLayout(const core::GeneralFrame& frame);
+
+  Ticks period() const noexcept { return period_; }
+  const std::vector<Window>& windows() const noexcept { return windows_; }
+
+  /// First window of `mode` in the frame (the only one for three-slot
+  /// layouts). Requires the mode to have a window.
+  const Window& window(rt::Mode mode) const;
+
+  /// Locates absolute time t within its frame.
+  Position locate(Ticks t) const noexcept;
+
+  /// Start of the frame containing t.
+  Ticks frame_start(Ticks t) const noexcept { return t - t % period_; }
+
+  /// Absolute begin of the first usable window of `mode` at or after t.
+  Ticks next_window_begin(rt::Mode mode, Ticks t) const noexcept;
+
+  /// Absolute usable-end of the window containing t; returns t itself when
+  /// t is not inside any usable window.
+  Ticks usable_end_at(Ticks t) const noexcept;
+
+ private:
+  void finish_construction(double period_units);
+
+  Ticks period_ = 0;
+  std::vector<Window> windows_;
+};
+
+}  // namespace flexrt::sim

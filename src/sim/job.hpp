@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/sim_time.hpp"
+#include "platform/checker.hpp"
+
+namespace flexrt::sim {
+
+/// Index into the simulator's flattened task table.
+using TaskId = std::size_t;
+
+/// Terminal state of a job.
+enum class JobOutcome : std::uint8_t {
+  Pending,    ///< released, not yet finished
+  Completed,  ///< produced its output (possibly a masked/corrupt one)
+  Silenced,   ///< aborted by the checker (fail-silent): no output
+  Killed,     ///< aborted by the kill-on-miss policy at its deadline
+};
+
+/// One activation of a task.
+struct Job {
+  TaskId task = 0;
+  std::uint64_t activation = 0;  ///< per-task job counter, 0-based
+  Ticks release = 0;
+  Ticks abs_deadline = 0;
+  Ticks remaining = 0;  ///< execution time still owed
+  Ticks run_since = -1;  ///< when the current burst started (-1: not running)
+  Ticks finish_time = -1;
+  platform::CoreMask faulty_cores = 0;  ///< cores that faulted while it ran
+  JobOutcome outcome = JobOutcome::Pending;
+  bool deadline_missed = false;
+
+  bool running() const noexcept { return run_since >= 0; }
+};
+
+}  // namespace flexrt::sim

@@ -1,0 +1,23 @@
+#include "sim/metrics.hpp"
+
+namespace flexrt::sim {
+
+std::uint64_t SimResult::total_misses() const noexcept {
+  std::uint64_t n = 0;
+  for (const TaskStats& t : tasks) n += t.deadline_misses;
+  return n;
+}
+
+std::uint64_t SimResult::total_wrong_results() const noexcept {
+  std::uint64_t n = 0;
+  for (const TaskStats& t : tasks) n += t.corrupted_outputs;
+  return n;
+}
+
+std::uint64_t SimResult::total_silenced() const noexcept {
+  std::uint64_t n = 0;
+  for (const TaskStats& t : tasks) n += t.silenced;
+  return n;
+}
+
+}  // namespace flexrt::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "rt/task.hpp"
+
+namespace flexrt::sim {
+
+/// Per-task counters collected by a simulation run.
+struct TaskStats {
+  std::string name;
+  rt::Mode mode = rt::Mode::NF;
+  std::uint64_t releases = 0;
+  std::uint64_t completions = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t silenced = 0;         ///< jobs aborted fail-silently
+  std::uint64_t corrupted_outputs = 0;  ///< wrong results reaching the bus
+  std::uint64_t masked_faults = 0;    ///< faults out-voted on this task's jobs
+  Ticks max_response = 0;
+  Ticks total_response = 0;
+
+  double avg_response_units() const noexcept {
+    return completions == 0
+               ? 0.0
+               : to_units(total_response) / static_cast<double>(completions);
+  }
+};
+
+/// Fault-side counters of a run.
+struct FaultStats {
+  std::uint64_t injected = 0;
+  std::uint64_t masked = 0;     ///< hit an FT job, out-voted
+  std::uint64_t silenced = 0;   ///< hit an FS job, detected and silenced
+  std::uint64_t corrupting = 0;  ///< hit an NF job, wrong result emitted
+  std::uint64_t harmless = 0;   ///< struck idle hardware / overhead / slack
+};
+
+/// Complete result of one simulation run.
+struct SimResult {
+  Ticks horizon = 0;
+  std::vector<TaskStats> tasks;
+  FaultStats faults;
+  /// Busy ticks accumulated per mode (FT, FS, NF order).
+  std::array<Ticks, 3> busy_ticks{};
+
+  std::uint64_t total_misses() const noexcept;
+  std::uint64_t total_wrong_results() const noexcept;
+  std::uint64_t total_silenced() const noexcept;
+  bool any_deadline_miss() const noexcept { return total_misses() > 0; }
+};
+
+}  // namespace flexrt::sim

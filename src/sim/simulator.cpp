@@ -1,0 +1,415 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/error.hpp"
+#include "rt/priority.hpp"
+
+namespace flexrt::sim {
+namespace {
+
+constexpr std::size_t mode_index(rt::Mode mode) noexcept {
+  return static_cast<std::size_t>(mode);
+}
+
+}  // namespace
+
+Simulator::Simulator(const core::ModeTaskSystem& system,
+                     const core::ModeSchedule& schedule,
+                     const SimOptions& options)
+    : Simulator(system, FrameLayout(schedule), options) {}
+
+Simulator::Simulator(const core::ModeTaskSystem& system,
+                     const core::GeneralFrame& frame,
+                     const SimOptions& options)
+    : Simulator(system, FrameLayout(frame), options) {}
+
+Simulator::Simulator(const core::ModeTaskSystem& system, FrameLayout frame,
+                     const SimOptions& options)
+    : options_(options),
+      frame_(std::move(frame)),
+      rng_(options.seed),
+      trace_(options.trace_capacity) {
+  FLEXRT_REQUIRE(options.horizon > 0.0, "simulation horizon must be > 0");
+  horizon_ = to_ticks(options.horizon);
+
+  // Flatten the per-mode channel partitions into the task/channel tables.
+  for (const rt::Mode mode : core::kAllModes) {
+    first_channel_[mode_index(mode)] = channels_.size();
+    std::size_t index_in_mode = 0;
+    for (const rt::TaskSet& partition : system.partitions(mode)) {
+      channels_.push_back(Channel{mode, index_in_mode++, {}, {}, 0, false, 0});
+      // FP priorities inside the channel are deadline-monotonic, matching
+      // the analysis side (core/integration.cpp).
+      const rt::TaskSet ordered = rt::sort_deadline_monotonic(partition);
+      for (std::size_t p = 0; p < ordered.size(); ++p) {
+        const rt::Task& t = ordered[p];
+        tasks_.push_back(SimTask{t, mode, channels_.size() - 1, p,
+                                 to_ticks(t.wcet), to_ticks(t.period),
+                                 to_ticks(t.deadline)});
+        result_.tasks.push_back(TaskStats{t.name, mode});
+      }
+    }
+  }
+  result_.horizon = horizon_;
+}
+
+void Simulator::push(Ticks time, EventKind kind, std::uint64_t a,
+                     std::uint64_t b) {
+  heap_.push_back(Event{time, kind, seq_++, a, b});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+}
+
+SimResult Simulator::run() {
+  // Initial events: first frame, synchronous first releases (the critical
+  // instant), and the pre-drawn fault trace.
+  push(0, EventKind::FrameStart, 0);
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    push(0, EventKind::Release, t);
+  }
+  {
+    Rng fault_rng = rng_.fork();
+    for (const fault::Fault& f : options_.faults.generate(horizon_, fault_rng)) {
+      push(f.time, EventKind::Fault, f.core);
+    }
+  }
+
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
+    if (ev.time > horizon_) continue;  // drain without processing
+    switch (ev.kind) {
+      case EventKind::FrameStart:
+        on_frame_start(ev.time);
+        break;
+      case EventKind::Completion:
+        on_completion(ev.time, static_cast<std::size_t>(ev.a), ev.b);
+        break;
+      case EventKind::WindowEnd:
+        on_window_end(ev.time, static_cast<rt::Mode>(ev.a));
+        break;
+      case EventKind::WindowStart:
+        on_window_start(ev.time, static_cast<rt::Mode>(ev.a));
+        break;
+      case EventKind::Release:
+        on_release(ev.time, static_cast<std::size_t>(ev.a));
+        break;
+      case EventKind::Fault:
+        on_fault(ev.time, static_cast<platform::CoreId>(ev.a));
+        break;
+      case EventKind::DeadlineCheck:
+        on_deadline(ev.time, static_cast<std::size_t>(ev.a));
+        break;
+    }
+  }
+
+  // Close the books at the horizon: checkpoint whatever is still running and
+  // close any open supply window.
+  for (Channel& ch : channels_) {
+    if (ch.active) {
+      checkpoint_running(horizon_, ch);
+    }
+  }
+  if (options_.record_supply) {
+    for (const rt::Mode mode : core::kAllModes) {
+      const std::size_t m = mode_index(mode);
+      const FrameLayout::Position pos = frame_.locate(horizon_);
+      if (pos.in_slot && pos.in_usable && pos.mode == mode) {
+        supply_[m].add(window_open_since_[m], horizon_);
+      }
+    }
+  }
+  return result_;
+}
+
+void Simulator::on_frame_start(Ticks now) {
+  for (const FrameLayout::Window& w : frame_.windows()) {
+    if (w.usable_end > w.begin) {
+      push(now + w.begin, EventKind::WindowStart,
+           static_cast<std::uint64_t>(w.mode));
+      push(now + w.usable_end, EventKind::WindowEnd,
+           static_cast<std::uint64_t>(w.mode));
+    }
+  }
+  if (now + frame_.period() <= horizon_) {
+    push(now + frame_.period(), EventKind::FrameStart, 0);
+  }
+}
+
+void Simulator::on_window_start(Ticks now, rt::Mode mode) {
+  if (trace_.enabled()) {
+    trace_.record(now, TraceKind::WindowOpen, rt::to_string(mode));
+  }
+  if (options_.record_supply) {
+    window_open_since_[mode_index(mode)] = now;
+  }
+  const std::size_t base = first_channel_[mode_index(mode)];
+  for (std::size_t c = 0; c < core::num_channels(mode); ++c) {
+    channels_[base + c].active = true;
+    dispatch(now, base + c);
+  }
+}
+
+void Simulator::on_window_end(Ticks now, rt::Mode mode) {
+  if (trace_.enabled()) {
+    trace_.record(now, TraceKind::WindowClose, rt::to_string(mode));
+  }
+  const std::size_t base = first_channel_[mode_index(mode)];
+  for (std::size_t c = 0; c < core::num_channels(mode); ++c) {
+    Channel& ch = channels_[base + c];
+    checkpoint_running(now, ch);
+    ch.active = false;
+  }
+  if (options_.record_supply) {
+    supply_[mode_index(mode)].add(window_open_since_[mode_index(mode)], now);
+  }
+}
+
+void Simulator::on_release(Ticks now, std::size_t task_id) {
+  const SimTask& st = tasks_[task_id];
+  Job job;
+  job.task = task_id;
+  job.activation = result_.tasks[task_id].releases;
+  job.release = now;
+  job.abs_deadline = now + st.deadline;
+  job.remaining = st.wcet;
+  const std::size_t job_idx = jobs_.size();
+  jobs_.push_back(job);
+  result_.tasks[task_id].releases++;
+
+  if (trace_.enabled()) {
+    trace_.record(now, TraceKind::Release, st.task.name,
+                  static_cast<std::int64_t>(st.channel));
+  }
+  channels_[st.channel].ready.push_back(job_idx);
+  push(job.abs_deadline, EventKind::DeadlineCheck, job_idx);
+  if (channels_[st.channel].active) dispatch(now, st.channel);
+
+  Ticks next = now + st.period;
+  if (options_.sporadic_jitter > 0.0) {
+    next += to_ticks(rng_.uniform(0.0, options_.sporadic_jitter));
+  }
+  if (next < horizon_) push(next, EventKind::Release, task_id);
+}
+
+void Simulator::checkpoint_running(Ticks now, Channel& ch) {
+  if (ch.running) {
+    Job& job = jobs_[*ch.running];
+    assert(job.run_since >= 0 && job.run_since <= now);
+    const Ticks ran = now - job.run_since;
+    job.remaining -= ran;
+    result_.busy_ticks[mode_index(ch.mode)] += ran;
+    job.run_since = -1;
+    ch.running.reset();
+  }
+  ch.version++;  // cancels any in-flight completion event
+}
+
+std::optional<std::size_t> Simulator::pick_best(const Channel& ch) const {
+  std::optional<std::size_t> best;
+  for (const std::size_t j : ch.ready) {
+    if (!best) {
+      best = j;
+      continue;
+    }
+    const Job& a = jobs_[j];
+    const Job& b = jobs_[*best];
+    bool better = false;
+    if (options_.scheduler == hier::Scheduler::EDF) {
+      better = a.abs_deadline < b.abs_deadline ||
+               (a.abs_deadline == b.abs_deadline && a.task < b.task);
+    } else {
+      better = tasks_[a.task].priority < tasks_[b.task].priority;
+    }
+    if (better) best = j;
+  }
+  return best;
+}
+
+void Simulator::dispatch(Ticks now, std::size_t channel_id) {
+  Channel& ch = channels_[channel_id];
+  if (!ch.active || now < ch.blocked_until) return;
+  const std::optional<std::size_t> best = pick_best(ch);
+  if (best == ch.running) return;
+  if (trace_.enabled() && ch.running) {
+    trace_.record(now, TraceKind::Preempt,
+                  tasks_[jobs_[*ch.running].task].task.name,
+                  static_cast<std::int64_t>(channel_id));
+  }
+  checkpoint_running(now, ch);
+  if (best) {
+    Job& job = jobs_[*best];
+    job.run_since = now;
+    ch.running = best;
+    if (trace_.enabled()) {
+      trace_.record(now, TraceKind::Start, tasks_[job.task].task.name,
+                    static_cast<std::int64_t>(channel_id));
+    }
+    push(now + job.remaining, EventKind::Completion, *best, ch.version);
+  }
+}
+
+void Simulator::on_completion(Ticks now, std::size_t job_idx,
+                              std::uint64_t version) {
+  Job& job = jobs_[job_idx];
+  Channel& ch = channels_[tasks_[job.task].channel];
+  if (!ch.running || *ch.running != job_idx || ch.version != version) {
+    return;  // stale event: the job was preempted / suspended / aborted
+  }
+  const Ticks ran = now - job.run_since;
+  assert(ran == job.remaining);
+  job.remaining = 0;
+  job.run_since = -1;
+  result_.busy_ticks[mode_index(ch.mode)] += ran;
+  ch.running.reset();
+  ch.version++;
+  finish_job(now, job_idx);
+  dispatch(now, tasks_[job.task].channel);
+}
+
+void Simulator::finish_job(Ticks now, std::size_t job_idx) {
+  Job& job = jobs_[job_idx];
+  const SimTask& st = tasks_[job.task];
+  TaskStats& stats = result_.tasks[job.task];
+  Channel& ch = channels_[st.channel];
+  std::erase(ch.ready, job_idx);
+  job.finish_time = now;
+
+  // The checker inspects the channel's outputs: replicas that faulted while
+  // this job executed now disagree.
+  const platform::Verdict verdict =
+      platform::evaluate(st.mode, ch.index_in_mode, job.faulty_cores);
+  if (verdict == platform::Verdict::Silenced) {
+    if (trace_.enabled()) {
+      trace_.record(now, TraceKind::Silence, st.task.name,
+                    static_cast<std::int64_t>(st.channel));
+    }
+    job.outcome = JobOutcome::Silenced;
+    stats.silenced++;
+    return;  // no output, no response time
+  }
+  if (trace_.enabled()) {
+    trace_.record(now, TraceKind::Complete, st.task.name,
+                  static_cast<std::int64_t>(st.channel));
+  }
+  job.outcome = JobOutcome::Completed;
+  stats.completions++;
+  if (verdict == platform::Verdict::Masked) stats.masked_faults++;
+  if (verdict == platform::Verdict::Corrupt) stats.corrupted_outputs++;
+  const Ticks response = now - job.release;
+  stats.max_response = std::max(stats.max_response, response);
+  stats.total_response += response;
+}
+
+void Simulator::silence_job(Ticks now, std::size_t job_idx) {
+  Job& job = jobs_[job_idx];
+  const SimTask& st = tasks_[job.task];
+  Channel& ch = channels_[st.channel];
+  if (ch.running && *ch.running == job_idx) {
+    checkpoint_running(now, ch);
+  }
+  std::erase(ch.ready, job_idx);
+  job.outcome = JobOutcome::Silenced;
+  job.finish_time = now;
+  result_.tasks[job.task].silenced++;
+  if (trace_.enabled()) {
+    trace_.record(now, TraceKind::Silence, st.task.name,
+                  static_cast<std::int64_t>(st.channel));
+  }
+}
+
+void Simulator::on_fault(Ticks now, platform::CoreId core) {
+  result_.faults.injected++;
+  if (trace_.enabled()) {
+    trace_.record(now, TraceKind::Fault, "",
+                  static_cast<std::int64_t>(core));
+  }
+  const FrameLayout::Position pos = frame_.locate(now);
+  if (!pos.in_slot || !pos.in_usable) {
+    result_.faults.harmless++;  // struck during overhead or slack
+    return;
+  }
+  const rt::Mode mode = pos.mode;
+  const std::size_t chid =
+      first_channel_[mode_index(mode)] + platform::core_channel(mode, core);
+  Channel& ch = channels_[chid];
+  if (!ch.running) {
+    result_.faults.harmless++;  // channel idle: nothing to corrupt
+    return;
+  }
+  const std::size_t job_idx = *ch.running;
+  Job& job = jobs_[job_idx];
+  switch (mode) {
+    case rt::Mode::FT:
+      // The checker compares every bus access: the divergent replica is
+      // out-voted 3:1 and resynchronized from the majority before the next
+      // comparison, so the corruption does not persist (this is what makes
+      // the single-transient-fault assumption compose across a job's
+      // lifetime). Masking is transparent to the schedule.
+      result_.faults.masked++;
+      result_.tasks[job.task].masked_faults++;
+      break;
+    case rt::Mode::FS:
+      job.faulty_cores |= static_cast<platform::CoreMask>(1u << core);
+      result_.faults.silenced++;
+      if (options_.detection == DetectionPolicy::Immediate) {
+        silence_job(now, job_idx);
+        // The couple resynchronizes during the rest of the current window;
+        // it accepts work again from its next usable window on.
+        ch.blocked_until = frame_.usable_end_at(now);
+        dispatch(now, chid);
+      }
+      break;
+    case rt::Mode::NF:
+      job.faulty_cores |= static_cast<platform::CoreMask>(1u << core);
+      result_.faults.corrupting++;  // silent data corruption
+      break;
+  }
+}
+
+void Simulator::on_deadline(Ticks now, std::size_t job_idx) {
+  Job& job = jobs_[job_idx];
+  if (job.outcome != JobOutcome::Pending) return;
+  job.deadline_missed = true;
+  result_.tasks[job.task].deadline_misses++;
+  if (trace_.enabled()) {
+    trace_.record(now, TraceKind::DeadlineMiss, tasks_[job.task].task.name,
+                  static_cast<std::int64_t>(tasks_[job.task].channel));
+  }
+  if (options_.kill_on_miss) {
+    const SimTask& st = tasks_[job.task];
+    Channel& ch = channels_[st.channel];
+    if (ch.running && *ch.running == job_idx) {
+      checkpoint_running(now, ch);
+      job.outcome = JobOutcome::Killed;
+      std::erase(ch.ready, job_idx);
+      dispatch(now, st.channel);
+    } else {
+      job.outcome = JobOutcome::Killed;
+      std::erase(ch.ready, job_idx);
+    }
+    job.finish_time = now;
+    if (trace_.enabled()) {
+      trace_.record(now, TraceKind::Kill, st.task.name,
+                    static_cast<std::int64_t>(st.channel));
+    }
+  }
+}
+
+SimResult simulate(const core::ModeTaskSystem& system,
+                   const core::ModeSchedule& schedule,
+                   const SimOptions& options) {
+  Simulator sim(system, schedule, options);
+  return sim.run();
+}
+
+SimResult simulate(const core::ModeTaskSystem& system,
+                   const core::GeneralFrame& frame,
+                   const SimOptions& options) {
+  Simulator sim(system, frame, options);
+  return sim.run();
+}
+
+}  // namespace flexrt::sim

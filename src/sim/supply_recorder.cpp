@@ -1,0 +1,54 @@
+#include "sim/supply_recorder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexrt::sim {
+
+void SupplyRecorder::add(Ticks begin, Ticks end) {
+  if (end <= begin) return;
+  if (!intervals_.empty()) {
+    FLEXRT_REQUIRE(begin >= intervals_.back().end,
+                   "service intervals must be appended in order");
+    // Merge adjacency to keep the candidate set small.
+    if (begin == intervals_.back().end) {
+      intervals_.back().end = end;
+      return;
+    }
+  }
+  intervals_.push_back({begin, end});
+}
+
+Ticks SupplyRecorder::total() const noexcept {
+  Ticks sum = 0;
+  for (const Interval& iv : intervals_) sum += iv.end - iv.begin;
+  return sum;
+}
+
+Ticks SupplyRecorder::supplied_in(Ticks from, Ticks to) const noexcept {
+  Ticks sum = 0;
+  // First interval ending after `from`.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), from,
+      [](const Interval& iv, Ticks t) { return iv.end <= t; });
+  for (; it != intervals_.end() && it->begin < to; ++it) {
+    sum += std::min(to, it->end) - std::max(from, it->begin);
+  }
+  return sum;
+}
+
+Ticks SupplyRecorder::min_window_supply(Ticks window,
+                                        Ticks horizon) const noexcept {
+  if (window <= 0 || window > horizon) return 0;
+  Ticks best = window;  // can never exceed the window itself
+  auto consider = [&](Ticks start) {
+    if (start < 0 || start + window > horizon) return;
+    best = std::min(best, supplied_in(start, start + window));
+  };
+  consider(0);
+  for (const Interval& iv : intervals_) consider(iv.end);
+  return best;
+}
+
+}  // namespace flexrt::sim

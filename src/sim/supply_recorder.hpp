@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace flexrt::sim {
+
+/// Records the time intervals during which a partition was actually allowed
+/// to execute, and answers "what was the minimum service delivered in any
+/// window of length t?" — the empirical counterpart of the supply function
+/// Z(t) (paper Def. 1). Property tests check that the measured minimum
+/// dominates the analytical lower bound.
+class SupplyRecorder {
+ public:
+  /// Appends a service interval [begin, end); intervals must be appended in
+  /// non-decreasing order of begin and must not overlap.
+  void add(Ticks begin, Ticks end);
+
+  /// Total recorded service time.
+  Ticks total() const noexcept;
+
+  /// Service delivered inside [from, to).
+  Ticks supplied_in(Ticks from, Ticks to) const noexcept;
+
+  /// Minimum service over every window of length `window` fully contained
+  /// in [0, horizon). For a piecewise-linear cumulative supply, the minimum
+  /// is attained with the window starting at the end of a service interval
+  /// (or at 0), so only those candidates are evaluated.
+  Ticks min_window_supply(Ticks window, Ticks horizon) const noexcept;
+
+  std::size_t num_intervals() const noexcept { return intervals_.size(); }
+
+ private:
+  struct Interval {
+    Ticks begin;
+    Ticks end;
+  };
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace flexrt::sim

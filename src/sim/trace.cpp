@@ -1,0 +1,56 @@
+#include "sim/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace flexrt::sim {
+
+const char* to_string(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::Release:
+      return "release";
+    case TraceKind::Start:
+      return "start";
+    case TraceKind::Preempt:
+      return "preempt";
+    case TraceKind::Suspend:
+      return "suspend";
+    case TraceKind::Complete:
+      return "complete";
+    case TraceKind::Silence:
+      return "silence";
+    case TraceKind::Kill:
+      return "kill";
+    case TraceKind::DeadlineMiss:
+      return "deadline-miss";
+    case TraceKind::WindowOpen:
+      return "window-open";
+    case TraceKind::WindowClose:
+      return "window-close";
+    case TraceKind::Fault:
+      return "fault";
+  }
+  return "?";
+}
+
+void Trace::record(Ticks time, TraceKind kind, std::string who,
+                   std::int64_t detail) {
+  ++total_;
+  if (events_.size() >= capacity_) return;
+  events_.push_back({time, kind, std::move(who), detail});
+}
+
+void Trace::print(std::ostream& os) const {
+  for (const TraceEvent& e : events_) {
+    os << '[' << std::fixed << std::setprecision(6) << to_units(e.time)
+       << "] " << to_string(e.kind);
+    if (!e.who.empty()) os << ' ' << e.who;
+    if (e.detail >= 0) os << " (" << e.detail << ')';
+    os << '\n';
+  }
+  if (truncated()) {
+    os << "... " << total_ - events_.size() << " more events (truncated)\n";
+  }
+}
+
+}  // namespace flexrt::sim

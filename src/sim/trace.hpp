@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "rt/task.hpp"
+
+namespace flexrt::sim {
+
+/// Kinds of events a simulation trace can record.
+enum class TraceKind : std::uint8_t {
+  Release,       ///< a job arrived
+  Start,         ///< a job got the channel (first time or after preemption)
+  Preempt,       ///< a running job was displaced by a higher-priority one
+  Suspend,       ///< the mode's window closed under a running job
+  Complete,      ///< a job finished and passed the checker
+  Silence,       ///< the checker blocked a job's output (fail-silent)
+  Kill,          ///< the kill-on-miss policy aborted a job
+  DeadlineMiss,  ///< a job was still pending at its deadline
+  WindowOpen,    ///< a mode's usable window opened
+  WindowClose,   ///< a mode's usable window closed
+  Fault,         ///< a transient fault struck a core
+};
+
+const char* to_string(TraceKind kind) noexcept;
+
+/// One trace record. `who` is a task name for job events, a mode name for
+/// window events, empty for faults; `detail` carries the channel id for job
+/// events and the core id for faults.
+struct TraceEvent {
+  Ticks time = 0;
+  TraceKind kind = TraceKind::Release;
+  std::string who;
+  std::int64_t detail = -1;
+};
+
+/// Bounded in-memory event recorder. Recording stops silently once the
+/// capacity is reached (the counter keeps counting), so enabling tracing on
+/// a long run cannot exhaust memory.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void record(Ticks time, TraceKind kind, std::string who,
+              std::int64_t detail = -1);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::uint64_t total_recorded() const noexcept { return total_; }
+  bool truncated() const noexcept { return total_ > events_.size(); }
+  bool enabled() const noexcept { return capacity_ > 0; }
+
+  /// One line per event: "[time] kind who (detail)".
+  void print(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace flexrt::sim

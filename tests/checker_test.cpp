@@ -1,0 +1,86 @@
+#include "platform/checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flexrt::platform {
+namespace {
+
+using rt::Mode;
+
+TEST(ChannelCores, FtUsesAllFour) {
+  EXPECT_EQ(channel_cores(Mode::FT, 0), 0b1111);
+}
+
+TEST(ChannelCores, FsCouples) {
+  EXPECT_EQ(channel_cores(Mode::FS, 0), 0b0011);
+  EXPECT_EQ(channel_cores(Mode::FS, 1), 0b1100);
+}
+
+TEST(ChannelCores, NfSingletons) {
+  for (std::size_t c = 0; c < kNumCores; ++c) {
+    EXPECT_EQ(channel_cores(Mode::NF, c), 1u << c);
+  }
+}
+
+TEST(CoreChannel, InverseOfChannelCores) {
+  for (const Mode mode : {Mode::FT, Mode::FS, Mode::NF}) {
+    for (CoreId core = 0; core < kNumCores; ++core) {
+      const std::size_t ch = core_channel(mode, core);
+      EXPECT_TRUE(channel_cores(mode, ch) & (1u << core))
+          << to_string(mode) << " core " << core;
+    }
+  }
+}
+
+TEST(Evaluate, NoFaultIsOkEverywhere) {
+  EXPECT_EQ(evaluate(Mode::FT, 0, 0), Verdict::Ok);
+  EXPECT_EQ(evaluate(Mode::FS, 0, 0), Verdict::Ok);
+  EXPECT_EQ(evaluate(Mode::NF, 2, 0), Verdict::Ok);
+}
+
+TEST(Evaluate, FtMasksAnySingleCoreFault) {
+  for (CoreId core = 0; core < kNumCores; ++core) {
+    EXPECT_EQ(evaluate(Mode::FT, 0, static_cast<CoreMask>(1u << core)),
+              Verdict::Masked);
+  }
+}
+
+TEST(Evaluate, FtDoubleFaultDegradesToSilence) {
+  // Beyond the single-fault assumption the 2:2 (or 1:3) vote is unsafe.
+  EXPECT_EQ(evaluate(Mode::FT, 0, 0b0011), Verdict::Silenced);
+  EXPECT_EQ(evaluate(Mode::FT, 0, 0b0111), Verdict::Silenced);
+}
+
+TEST(Evaluate, FsSilencesItsOwnCoupleOnly) {
+  EXPECT_EQ(evaluate(Mode::FS, 0, 0b0001), Verdict::Silenced);
+  EXPECT_EQ(evaluate(Mode::FS, 0, 0b0100), Verdict::Ok);  // other couple
+  EXPECT_EQ(evaluate(Mode::FS, 1, 0b0100), Verdict::Silenced);
+  EXPECT_EQ(evaluate(Mode::FS, 1, 0b0001), Verdict::Ok);
+}
+
+TEST(Evaluate, NfForwardsCorruption) {
+  EXPECT_EQ(evaluate(Mode::NF, 3, 0b1000), Verdict::Corrupt);
+  EXPECT_EQ(evaluate(Mode::NF, 3, 0b0100), Verdict::Ok);  // other core
+}
+
+TEST(Evaluate, FtNeverEmitsCorrupt) {
+  // The safety property of the paper's FT mode: no wrong value can reach
+  // the bus, whatever the fault pattern.
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    EXPECT_NE(evaluate(Mode::FT, 0, static_cast<CoreMask>(mask)),
+              Verdict::Corrupt);
+  }
+}
+
+TEST(Evaluate, FsNeverEmitsCorruptOrMasked) {
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    for (const std::size_t ch : {0u, 1u}) {
+      const Verdict v = evaluate(Mode::FS, ch, static_cast<CoreMask>(mask));
+      EXPECT_NE(v, Verdict::Corrupt);
+      EXPECT_NE(v, Verdict::Masked);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flexrt::platform

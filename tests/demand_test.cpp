@@ -1,0 +1,91 @@
+#include "rt/demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/priority.hpp"
+
+namespace flexrt::rt {
+namespace {
+
+TaskSet two_tasks() {
+  // Sorted by decreasing priority (RM order).
+  return TaskSet{make_task("hi", 1, 4, Mode::NF),
+                 make_task("lo", 2, 10, Mode::NF)};
+}
+
+TEST(FpWorkload, HighestPriorityTaskSeesOnlyItself) {
+  const TaskSet ts = two_tasks();
+  EXPECT_DOUBLE_EQ(fp_workload(ts, 0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(fp_workload(ts, 0, 100.0), 1.0);
+}
+
+TEST(FpWorkload, LowerPriorityAccumulatesInterference) {
+  const TaskSet ts = two_tasks();
+  // W_2(t) = 2 + ceil(t/4)*1.
+  EXPECT_DOUBLE_EQ(fp_workload(ts, 1, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(fp_workload(ts, 1, 5.0), 4.0);
+  EXPECT_DOUBLE_EQ(fp_workload(ts, 1, 10.0), 5.0);
+}
+
+TEST(FpWorkload, SteppedAtMultiples) {
+  const TaskSet ts = two_tasks();
+  // Exactly at a period multiple the ceil must not step to the next job.
+  EXPECT_DOUBLE_EQ(fp_workload(ts, 1, 8.0), 4.0);
+  EXPECT_DOUBLE_EQ(fp_workload(ts, 1, 8.0 + 1e-6), 5.0);
+}
+
+TEST(EdfDemand, ImplicitDeadlinesMatchFloorFormula) {
+  const TaskSet ts = two_tasks();
+  // dbf(t) = floor(t/4)*1 + floor(t/10)*2.
+  EXPECT_DOUBLE_EQ(edf_demand(ts, 3.9), 0.0);
+  EXPECT_DOUBLE_EQ(edf_demand(ts, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(edf_demand(ts, 10.0), 4.0);
+  EXPECT_DOUBLE_EQ(edf_demand(ts, 20.0), 9.0);
+}
+
+TEST(EdfDemand, ConstrainedDeadlineShiftsDemand) {
+  const TaskSet ts{make_task("a", 1, 10, 4, Mode::NF)};
+  EXPECT_DOUBLE_EQ(edf_demand(ts, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(edf_demand(ts, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(edf_demand(ts, 13.9), 1.0);
+  EXPECT_DOUBLE_EQ(edf_demand(ts, 14.0), 2.0);
+}
+
+TEST(EdfDemand, MonotoneNonDecreasing) {
+  const TaskSet ts = two_tasks();
+  double prev = 0.0;
+  for (double t = 0.0; t <= 40.0; t += 0.25) {
+    const double d = edf_demand(ts, t);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(DeadlineSet, EnumeratesAllDeadlinesToHyperperiod) {
+  const TaskSet ts{make_task("a", 1, 4, Mode::NF),
+                   make_task("b", 1, 6, Mode::NF)};
+  const std::vector<double> dl = deadline_set(ts);  // hyperperiod 12
+  const std::vector<double> expected = {4, 6, 8, 12};
+  ASSERT_EQ(dl.size(), expected.size());
+  for (std::size_t i = 0; i < dl.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dl[i], expected[i]);
+  }
+}
+
+TEST(DeadlineSet, DeduplicatesSharedDeadlines) {
+  const TaskSet ts{make_task("a", 1, 6, Mode::NF),
+                   make_task("b", 1, 6, Mode::NF)};
+  EXPECT_EQ(deadline_set(ts).size(), 1u);
+}
+
+TEST(DeadlineSet, RespectsExplicitHorizon) {
+  const TaskSet ts{make_task("a", 1, 4, Mode::NF)};
+  EXPECT_EQ(deadline_set(ts, 9.0).size(), 2u);  // 4, 8
+}
+
+TEST(DeadlineSet, EmptySet) {
+  EXPECT_TRUE(deadline_set(TaskSet{}).empty());
+}
+
+}  // namespace
+}  // namespace flexrt::rt

@@ -1,0 +1,82 @@
+#include "fault/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flexrt::fault {
+namespace {
+
+TEST(FaultModel, ZeroRateYieldsNoFaults) {
+  FaultModel fm;
+  Rng rng(1);
+  EXPECT_TRUE(fm.generate(to_ticks(1000.0), rng).empty());
+}
+
+TEST(FaultModel, CountApproximatesPoissonMean) {
+  FaultModel fm{0.01, 1.0};  // ~10 faults per 1000 units
+  Rng rng(2);
+  std::size_t total = 0;
+  const int runs = 200;
+  for (int i = 0; i < runs; ++i) {
+    total += fm.generate(to_ticks(1000.0), rng).size();
+  }
+  const double mean = static_cast<double>(total) / runs;
+  EXPECT_NEAR(mean, 10.0, 1.0);
+}
+
+TEST(FaultModel, RespectsMinimumSeparation) {
+  FaultModel fm{5.0, 2.0};  // very high rate, forced 2-unit gaps
+  Rng rng(3);
+  const auto faults = fm.generate(to_ticks(100.0), rng);
+  ASSERT_GT(faults.size(), 10u);
+  for (std::size_t i = 1; i < faults.size(); ++i) {
+    EXPECT_GE(faults[i].time - faults[i - 1].time, to_ticks(2.0));
+  }
+}
+
+TEST(FaultModel, AllWithinHorizonAndValidCores) {
+  FaultModel fm{0.1, 0.5};
+  Rng rng(4);
+  const Ticks horizon = to_ticks(500.0);
+  for (const Fault& f : fm.generate(horizon, rng)) {
+    EXPECT_GE(f.time, 0);
+    EXPECT_LT(f.time, horizon);
+    EXPECT_LT(f.core, platform::kNumCores);
+  }
+}
+
+TEST(FaultModel, CoresRoughlyUniform) {
+  FaultModel fm{0.5, 0.1};
+  Rng rng(5);
+  std::array<int, platform::kNumCores> hits{};
+  for (const Fault& f : fm.generate(to_ticks(20000.0), rng)) {
+    hits[f.core]++;
+  }
+  const int total = hits[0] + hits[1] + hits[2] + hits[3];
+  ASSERT_GT(total, 1000);
+  for (const int h : hits) {
+    EXPECT_GT(h, total / 8);  // no core starved
+  }
+}
+
+TEST(FaultModel, DeterministicForSeed) {
+  FaultModel fm{0.2, 0.5};
+  Rng a(7), b(7);
+  const auto fa = fm.generate(to_ticks(300.0), a);
+  const auto fb = fm.generate(to_ticks(300.0), b);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].time, fb[i].time);
+    EXPECT_EQ(fa[i].core, fb[i].core);
+  }
+}
+
+TEST(FaultModel, NegativeRateRejected) {
+  FaultModel fm{-1.0, 0.0};
+  Rng rng(8);
+  EXPECT_THROW(fm.generate(1000, rng), ModelError);
+}
+
+}  // namespace
+}  // namespace flexrt::fault

@@ -1,0 +1,94 @@
+#include "sim/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flexrt::sim {
+namespace {
+
+core::ModeSchedule simple_schedule() {
+  core::ModeSchedule s;
+  s.period = 10.0;
+  s.ft = {2.0, 0.5};  // slot [0, 2.5), usable [0, 2)
+  s.fs = {3.0, 0.5};  // slot [2.5, 6), usable [2.5, 5.5)
+  s.nf = {2.0, 1.0};  // slot [6, 9), usable [6, 8); slack [9, 10)
+  return s;
+}
+
+TEST(FrameLayout, WindowsFollowScheduleOrder) {
+  const FrameLayout f(simple_schedule());
+  EXPECT_EQ(f.period(), to_ticks(10.0));
+  EXPECT_EQ(f.window(rt::Mode::FT).begin, 0);
+  EXPECT_EQ(f.window(rt::Mode::FT).usable_end, to_ticks(2.0));
+  EXPECT_EQ(f.window(rt::Mode::FT).end, to_ticks(2.5));
+  EXPECT_EQ(f.window(rt::Mode::FS).begin, to_ticks(2.5));
+  EXPECT_EQ(f.window(rt::Mode::FS).usable_end, to_ticks(5.5));
+  EXPECT_EQ(f.window(rt::Mode::NF).begin, to_ticks(6.0));
+  EXPECT_EQ(f.window(rt::Mode::NF).end, to_ticks(9.0));
+}
+
+TEST(FrameLayout, LocateClassifiesEveryRegion) {
+  const FrameLayout f(simple_schedule());
+  auto at = [&](double t) { return f.locate(to_ticks(t)); };
+
+  EXPECT_TRUE(at(1.0).in_usable);
+  EXPECT_EQ(at(1.0).mode, rt::Mode::FT);
+  // FT overhead: in slot, not usable.
+  EXPECT_TRUE(at(2.2).in_slot);
+  EXPECT_FALSE(at(2.2).in_usable);
+  EXPECT_EQ(at(2.2).mode, rt::Mode::FT);
+  EXPECT_EQ(at(3.0).mode, rt::Mode::FS);
+  EXPECT_TRUE(at(3.0).in_usable);
+  EXPECT_EQ(at(7.0).mode, rt::Mode::NF);
+  // NF overhead.
+  EXPECT_FALSE(at(8.5).in_usable);
+  EXPECT_TRUE(at(8.5).in_slot);
+  // Frame slack.
+  EXPECT_FALSE(at(9.5).in_slot);
+}
+
+TEST(FrameLayout, LocateIsPeriodic) {
+  const FrameLayout f(simple_schedule());
+  for (const double t : {0.7, 3.3, 6.1, 9.9}) {
+    const auto a = f.locate(to_ticks(t));
+    const auto b = f.locate(to_ticks(t + 10.0));
+    const auto c = f.locate(to_ticks(t + 70.0));
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_EQ(a.in_usable, c.in_usable);
+    EXPECT_EQ(a.in_slot, c.in_slot);
+  }
+}
+
+TEST(FrameLayout, FrameStartAndNextWindow) {
+  const FrameLayout f(simple_schedule());
+  EXPECT_EQ(f.frame_start(to_ticks(13.0)), to_ticks(10.0));
+  // Next FS window from t=0 is this frame's (at 2.5).
+  EXPECT_EQ(f.next_window_begin(rt::Mode::FS, 0), to_ticks(2.5));
+  // From t=3.0 (inside it), the next *begin* is next frame's.
+  EXPECT_EQ(f.next_window_begin(rt::Mode::FS, to_ticks(3.0)), to_ticks(12.5));
+  EXPECT_EQ(f.next_window_begin(rt::Mode::FT, to_ticks(0.0)), 0);
+}
+
+TEST(FrameLayout, ZeroUsableSlotCollapses) {
+  core::ModeSchedule s;
+  s.period = 5.0;
+  s.ft = {0.0, 0.0};
+  s.fs = {2.0, 0.0};
+  s.nf = {2.0, 0.0};
+  const FrameLayout f(s);
+  EXPECT_EQ(f.window(rt::Mode::FT).begin, f.window(rt::Mode::FT).end);
+  EXPECT_EQ(f.window(rt::Mode::FS).begin, 0);
+}
+
+TEST(FrameLayout, RejectsOverfullSchedule) {
+  core::ModeSchedule s;
+  s.period = 1.0;
+  s.ft = {1.0, 0.0};
+  s.fs = {1.0, 0.0};
+  s.nf = {0.0, 0.0};
+  EXPECT_THROW(FrameLayout{s}, ModelError);
+}
+
+}  // namespace
+}  // namespace flexrt::sim

@@ -1,0 +1,132 @@
+#include "gen/taskset_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flexrt::gen {
+namespace {
+
+TEST(UUniFast, SumsExactlyToTarget) {
+  Rng rng(1);
+  for (const double total : {0.3, 1.0, 2.5}) {
+    for (const std::size_t n : {std::size_t{1}, std::size_t{4},
+                                std::size_t{16}}) {
+      const auto u = uunifast(n, total, rng);
+      ASSERT_EQ(u.size(), n);
+      double sum = 0.0;
+      for (const double v : u) {
+        EXPECT_GE(v, 0.0);
+        sum += v;
+      }
+      EXPECT_NEAR(sum, total, 1e-12);
+    }
+  }
+}
+
+TEST(UUniFast, MeanPerTaskIsTotalOverN) {
+  Rng rng(2);
+  const std::size_t n = 8;
+  std::vector<double> mean(n, 0.0);
+  const int trials = 4000;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto u = uunifast(n, 1.0, rng);
+    for (std::size_t i = 0; i < n; ++i) mean[i] += u[i];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(mean[i] / trials, 1.0 / static_cast<double>(n), 0.01)
+        << "slot " << i;
+  }
+}
+
+TEST(UUniFast, RejectsDegenerateInput) {
+  Rng rng(3);
+  EXPECT_THROW(uunifast(0, 1.0, rng), ModelError);
+  EXPECT_THROW(uunifast(3, 0.0, rng), ModelError);
+}
+
+TEST(GenerateTaskSet, HonoursShapeParameters) {
+  Rng rng(4);
+  GenParams p;
+  p.num_tasks = 20;
+  p.total_utilization = 1.2;
+  const rt::TaskSet ts = generate_task_set(p, rng);
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_NEAR(ts.utilization(), 1.2, 1e-9);
+  for (const rt::Task& t : ts) {
+    EXPECT_TRUE(std::find(p.period_menu.begin(), p.period_menu.end(),
+                          t.period) != p.period_menu.end());
+    EXPECT_LE(t.utilization(), p.max_task_utilization + 1e-12);
+    EXPECT_DOUBLE_EQ(t.deadline, t.period);  // implicit by default
+  }
+}
+
+TEST(GenerateTaskSet, ConstrainedDeadlinesStayValid) {
+  Rng rng(5);
+  GenParams p;
+  p.num_tasks = 30;
+  p.deadline_min_ratio = 0.5;
+  const rt::TaskSet ts = generate_task_set(p, rng);
+  for (const rt::Task& t : ts) {
+    EXPECT_LE(t.deadline, t.period + 1e-12);
+    EXPECT_GE(t.deadline, t.wcet - 1e-12);
+  }
+}
+
+TEST(GenerateTaskSet, ModeMixApproximatesFractions) {
+  Rng rng(6);
+  GenParams p;
+  p.num_tasks = 10;
+  p.ft_fraction = 0.3;
+  p.fs_fraction = 0.3;
+  std::array<int, 3> counts{};
+  for (int trial = 0; trial < 300; ++trial) {
+    for (const rt::Task& t : generate_task_set(p, rng)) {
+      counts[static_cast<std::size_t>(t.mode)]++;
+    }
+  }
+  const double total = counts[0] + counts[1] + counts[2];
+  EXPECT_NEAR(counts[0] / total, 0.3, 0.05);  // FT
+  EXPECT_NEAR(counts[1] / total, 0.3, 0.05);  // FS
+  EXPECT_NEAR(counts[2] / total, 0.4, 0.05);  // NF
+}
+
+TEST(GenerateTaskSet, DeterministicPerSeed) {
+  GenParams p;
+  Rng a(7), b(7);
+  const rt::TaskSet x = generate_task_set(p, a);
+  const rt::TaskSet y = generate_task_set(p, b);
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(x[i].wcet, y[i].wcet);
+    EXPECT_DOUBLE_EQ(x[i].period, y[i].period);
+    EXPECT_EQ(x[i].mode, y[i].mode);
+  }
+}
+
+TEST(BuildSystem, PartitionsByModeOntoChannels) {
+  Rng rng(8);
+  GenParams p;
+  p.num_tasks = 12;
+  p.total_utilization = 1.0;
+  const rt::TaskSet ts = generate_task_set(p, rng);
+  const auto sys = build_system(ts);
+  ASSERT_TRUE(sys.has_value());
+  EXPECT_EQ(sys->num_tasks(), ts.size());
+  EXPECT_EQ(sys->mode_tasks(rt::Mode::FT).size(),
+            ts.by_mode(rt::Mode::FT).size());
+  EXPECT_EQ(sys->mode_tasks(rt::Mode::FS).size(),
+            ts.by_mode(rt::Mode::FS).size());
+}
+
+TEST(BuildSystem, FailsWhenFtChannelOverflows) {
+  rt::TaskSet ts;
+  ts.add(rt::make_task("a", 6, 10, rt::Mode::FT));
+  ts.add(rt::make_task("b", 6, 10, rt::Mode::FT));  // 1.2 on one channel
+  EXPECT_FALSE(build_system(ts).has_value());
+}
+
+}  // namespace
+}  // namespace flexrt::gen

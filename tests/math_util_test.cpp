@@ -1,0 +1,79 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace flexrt {
+namespace {
+
+TEST(LcmSaturating, BasicValues) {
+  EXPECT_EQ(lcm_saturating(4, 6), 12);
+  EXPECT_EQ(lcm_saturating(6, 4), 12);
+  EXPECT_EQ(lcm_saturating(7, 13), 91);
+  EXPECT_EQ(lcm_saturating(12, 12), 12);
+  EXPECT_EQ(lcm_saturating(1, 9), 9);
+}
+
+TEST(LcmSaturating, ZeroYieldsZero) {
+  EXPECT_EQ(lcm_saturating(0, 5), 0);
+  EXPECT_EQ(lcm_saturating(5, 0), 0);
+}
+
+TEST(LcmSaturating, SaturatesOnOverflow) {
+  const std::int64_t big = (std::int64_t{1} << 62) + 1;  // odd, huge
+  EXPECT_EQ(lcm_saturating(big, big - 2),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(LcmSaturating, SequenceFoldsAndSaturates) {
+  const std::int64_t vals_ok[] = {4, 6, 10};
+  EXPECT_EQ(lcm_saturating(std::span<const std::int64_t>(vals_ok)), 60);
+  const std::int64_t empty[] = {1};
+  EXPECT_EQ(lcm_saturating(std::span<const std::int64_t>(empty, 0)), 1);
+  // A chain of large coprimes must saturate, not wrap.
+  const std::int64_t primes[] = {1000003, 1000033, 1000037, 1000039, 1000081,
+                                 1000099, 1000117, 1000121};
+  EXPECT_EQ(lcm_saturating(std::span<const std::int64_t>(primes)),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(AlmostEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.0 + 1e-6));
+  EXPECT_TRUE(almost_equal(0.0, 1e-13));
+  EXPECT_TRUE(almost_equal(1e9, 1e9 * (1.0 + 1e-10)));
+}
+
+TEST(LeqTol, BoundaryBehaviour) {
+  EXPECT_TRUE(leq_tol(1.0, 1.0));
+  EXPECT_TRUE(leq_tol(1.0 + 1e-12, 1.0));
+  EXPECT_FALSE(leq_tol(1.0 + 1e-3, 1.0));
+  EXPECT_TRUE(leq_tol(-5.0, 1.0));
+}
+
+TEST(CeilDiv, Integers) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+}
+
+TEST(CeilRatio, SnapsNearIntegers) {
+  // 0.3/0.1 is 2.9999... in binary floating point; a naive ceil gives 3
+  // anyway, but 3*(0.1) vs 0.30000000000000004 style noise must not push
+  // the result to 4.
+  EXPECT_EQ(ceil_ratio(0.3, 0.1), 3);
+  EXPECT_EQ(ceil_ratio(12.0, 4.0), 3);
+  EXPECT_EQ(ceil_ratio(12.1, 4.0), 4);
+  EXPECT_EQ(ceil_ratio(11.999999999999, 4.0), 3);  // snapped
+}
+
+TEST(FloorRatio, SnapsNearIntegers) {
+  EXPECT_EQ(floor_ratio(12.0, 4.0), 3);
+  EXPECT_EQ(floor_ratio(11.9, 4.0), 2);
+  EXPECT_EQ(floor_ratio(12.000000000001, 4.0), 3);  // snapped down
+  EXPECT_EQ(floor_ratio(0.3, 0.1), 3);
+}
+
+}  // namespace
+}  // namespace flexrt

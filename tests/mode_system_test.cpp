@@ -1,0 +1,72 @@
+#include "core/mode_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flexrt::core {
+namespace {
+
+using rt::make_task;
+using rt::Mode;
+using rt::TaskSet;
+
+TEST(NumChannels, MatchesPlatformConfiguration) {
+  EXPECT_EQ(num_channels(Mode::FT), 1u);
+  EXPECT_EQ(num_channels(Mode::FS), 2u);
+  EXPECT_EQ(num_channels(Mode::NF), 4u);
+}
+
+TEST(Overheads, TotalAndPerMode) {
+  const Overheads o{0.01, 0.02, 0.03};
+  EXPECT_DOUBLE_EQ(o.total(), 0.06);
+  EXPECT_DOUBLE_EQ(o.of(Mode::FT), 0.01);
+  EXPECT_DOUBLE_EQ(o.of(Mode::FS), 0.02);
+  EXPECT_DOUBLE_EQ(o.of(Mode::NF), 0.03);
+}
+
+TEST(ModeTaskSystem, PartitionsPaddedToChannelCount) {
+  ModeTaskSystem sys({}, {}, {});
+  EXPECT_EQ(sys.partitions(Mode::FT).size(), 1u);
+  EXPECT_EQ(sys.partitions(Mode::FS).size(), 2u);
+  EXPECT_EQ(sys.partitions(Mode::NF).size(), 4u);
+  EXPECT_EQ(sys.num_tasks(), 0u);
+}
+
+TEST(ModeTaskSystem, RejectsTooManyPartitions) {
+  std::vector<TaskSet> three(3);
+  EXPECT_THROW(ModeTaskSystem({}, std::move(three), {}), ModelError);
+}
+
+TEST(ModeTaskSystem, RejectsWrongModeTask) {
+  TaskSet nf_tasks{make_task("x", 1, 10, Mode::NF)};
+  EXPECT_THROW(ModeTaskSystem({nf_tasks}, {}, {}), ModelError);
+}
+
+TEST(ModeTaskSystem, RequiredBandwidthIsMaxOverChannels) {
+  TaskSet a{make_task("a", 1, 10, Mode::NF)};   // U = 0.1
+  TaskSet b{make_task("b", 3, 10, Mode::NF)};   // U = 0.3
+  ModeTaskSystem sys({}, {}, {a, b});
+  EXPECT_DOUBLE_EQ(sys.required_bandwidth(Mode::NF), 0.3);
+  EXPECT_DOUBLE_EQ(sys.required_bandwidth(Mode::FT), 0.0);
+}
+
+TEST(ModeTaskSystem, ModeTasksFlattensChannels) {
+  TaskSet a{make_task("a", 1, 10, Mode::FS)};
+  TaskSet b{make_task("b", 1, 20, Mode::FS)};
+  ModeTaskSystem sys({}, {a, b}, {});
+  EXPECT_EQ(sys.mode_tasks(Mode::FS).size(), 2u);
+  EXPECT_EQ(sys.num_tasks(), 2u);
+}
+
+TEST(ModeTaskSystem, SetPartitionsReplaces) {
+  ModeTaskSystem sys({}, {}, {});
+  TaskSet a{make_task("a", 1, 10, Mode::NF)};
+  sys.set_partitions(Mode::NF, {a});
+  EXPECT_EQ(sys.mode_tasks(Mode::NF).size(), 1u);
+  sys.set_partitions(Mode::NF, {});
+  EXPECT_EQ(sys.mode_tasks(Mode::NF).size(), 0u);
+}
+
+}  // namespace
+}  // namespace flexrt::core

@@ -1,0 +1,109 @@
+#include "hier/multi_slot_supply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace flexrt::hier {
+namespace {
+
+TEST(MultiSlotSupply, SingleWindowMatchesSlotSupply) {
+  // One window at the start of the frame is exactly the SlotSupply shape.
+  const MultiSlotSupply multi(10.0, {{0.0, 3.0}});
+  const SlotSupply single(10.0, 3.0);
+  for (double t = 0.0; t <= 40.0; t += 0.37) {
+    EXPECT_NEAR(multi.value(t), single.value(t), 1e-9) << "t=" << t;
+  }
+  EXPECT_DOUBLE_EQ(multi.rate(), single.rate());
+  EXPECT_DOUBLE_EQ(multi.delay(), single.delay());
+}
+
+TEST(MultiSlotSupply, TwoWindowsWorkedExample) {
+  // Frame 10 with windows [0,1) and [5,6): max gap = 4 (from 1 to 5 and
+  // from 6 to 10+0).
+  const MultiSlotSupply z(10.0, {{0.0, 1.0}, {5.0, 6.0}});
+  EXPECT_DOUBLE_EQ(z.rate(), 0.2);
+  EXPECT_DOUBLE_EQ(z.delay(), 4.0);
+  EXPECT_DOUBLE_EQ(z.value(4.0), 0.0);   // worst start at 1 or 6: gap of 4
+  EXPECT_DOUBLE_EQ(z.value(5.0), 1.0);   // gap + one full window
+  EXPECT_DOUBLE_EQ(z.value(9.0), 1.0);   // window, gap, flat
+  EXPECT_DOUBLE_EQ(z.value(10.0), 2.0);  // one full frame from a window end
+}
+
+TEST(MultiSlotSupply, CumulativeSupply) {
+  const MultiSlotSupply z(10.0, {{0.0, 1.0}, {5.0, 6.0}});
+  EXPECT_DOUBLE_EQ(z.cumulative(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(z.cumulative(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(z.cumulative(5.5), 1.5);
+  EXPECT_DOUBLE_EQ(z.cumulative(10.0), 2.0);
+  // 2 full frames (2 units each) + [20,25.5): window [20,21) plus half of
+  // window [25,26).
+  EXPECT_DOUBLE_EQ(z.cumulative(25.5), 5.5);
+}
+
+TEST(MultiSlotSupply, RejectsBadWindows) {
+  EXPECT_THROW(MultiSlotSupply(10.0, {}), ModelError);
+  EXPECT_THROW(MultiSlotSupply(10.0, {{3.0, 2.0}}), ModelError);       // empty
+  EXPECT_THROW(MultiSlotSupply(10.0, {{0.0, 11.0}}), ModelError);      // over
+  EXPECT_THROW(MultiSlotSupply(10.0, {{0.0, 5.0}, {4.0, 6.0}}),        // overlap
+               ModelError);
+}
+
+TEST(EvenlySplit, LayoutAndParameters) {
+  const MultiSlotSupply z = evenly_split_supply(12.0, 3.0, 3);
+  EXPECT_EQ(z.num_windows(), 3u);
+  EXPECT_DOUBLE_EQ(z.rate(), 0.25);
+  // Windows [0,1), [4,5), [8,9): max gap 3.
+  EXPECT_DOUBLE_EQ(z.delay(), 3.0);
+}
+
+// The headline property: splitting the same budget over k windows never
+// hurts, and strictly shrinks the delay for k >= 2.
+class SplitProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(SplitProperty, MoreWindowsNeverSupplyLess) {
+  const auto [period, fraction, k] = GetParam();
+  const MultiSlotSupply one = evenly_split_supply(period, fraction * period, 1);
+  const MultiSlotSupply many = evenly_split_supply(
+      period, fraction * period, static_cast<std::size_t>(k));
+  for (double t = 0.0; t <= 4.0 * period; t += period / 31.0) {
+    EXPECT_GE(many.value(t) + 1e-9, one.value(t))
+        << "P=" << period << " q=" << fraction * period << " k=" << k
+        << " t=" << t;
+  }
+  EXPECT_LT(many.delay(), one.delay());
+  EXPECT_NEAR(many.rate(), one.rate(), 1e-12);
+}
+
+TEST_P(SplitProperty, ValueIsMonotoneInT) {
+  const auto [period, fraction, k] = GetParam();
+  const MultiSlotSupply z = evenly_split_supply(
+      period, fraction * period, static_cast<std::size_t>(k));
+  double prev = 0.0;
+  for (double t = 0.0; t <= 3.0 * period; t += period / 53.0) {
+    const double v = z.value(t);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST_P(SplitProperty, ValueAtFrameMultiplesEqualsBudget) {
+  const auto [period, fraction, k] = GetParam();
+  const MultiSlotSupply z = evenly_split_supply(
+      period, fraction * period, static_cast<std::size_t>(k));
+  for (int m = 1; m <= 3; ++m) {
+    EXPECT_NEAR(z.value(m * period), m * fraction * period, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SplitProperty,
+    ::testing::Combine(::testing::Values(1.0, 4.0, 10.0),
+                       ::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(2, 3, 4)));
+
+}  // namespace
+}  // namespace flexrt::hier

@@ -1,0 +1,106 @@
+#include "rt/rta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/edf_test.hpp"
+#include "rt/priority.hpp"
+#include "rt/util_bounds.hpp"
+
+namespace flexrt::rt {
+namespace {
+
+TEST(ResponseTime, ClassicTextbookExample) {
+  // tau1(1,4) tau2(2,10): R1 = 1; R2 = 2 + ceil(R2/4)*1 has fixed point 3.
+  const TaskSet ts{make_task("a", 1, 4, Mode::NF),
+                   make_task("b", 2, 10, Mode::NF)};
+  EXPECT_DOUBLE_EQ(response_time(ts, 0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(response_time(ts, 1).value(), 3.0);
+  EXPECT_TRUE(fp_schedulable(ts));
+}
+
+TEST(ResponseTime, DetectsUnschedulableTask) {
+  // U = 0.5 + 0.6 > 1: the low-priority task cannot make it.
+  const TaskSet ts{make_task("a", 2, 4, Mode::NF),
+                   make_task("b", 6, 10, Mode::NF)};
+  EXPECT_TRUE(response_time(ts, 0).has_value());
+  EXPECT_FALSE(response_time(ts, 1).has_value());
+  EXPECT_FALSE(fp_schedulable(ts));
+}
+
+TEST(ResponseTime, FullUtilizationHarmonicSetIsSchedulable) {
+  const TaskSet ts{make_task("a", 1, 2, Mode::NF),
+                   make_task("b", 2, 4, Mode::NF)};  // U = 1, harmonic
+  EXPECT_TRUE(fp_schedulable(ts));
+  EXPECT_DOUBLE_EQ(response_time(ts, 1).value(), 4.0);
+}
+
+TEST(ResponseTime, WithInterferenceBuildingBlock) {
+  const TaskSet ts{make_task("a", 1, 4, Mode::NF)};
+  // A 2-unit job below tau1's priority with deadline 8: R = 2 + ceil(R/4).
+  const auto r = response_time_with_interference(ts, 1, 2.0, 8.0);
+  EXPECT_DOUBLE_EQ(r.value(), 3.0);
+  // Same job but deadline 2: infeasible.
+  EXPECT_FALSE(response_time_with_interference(ts, 1, 2.0, 2.0).has_value());
+}
+
+TEST(ResponseTimes, VectorForm) {
+  const TaskSet ts{make_task("a", 1, 4, Mode::NF),
+                   make_task("b", 2, 10, Mode::NF)};
+  const auto all = response_times(ts);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_DOUBLE_EQ(all[1].value(), 3.0);
+}
+
+TEST(EdfTest, ImplicitDeadlinesReduceToUtilization) {
+  const TaskSet ok{make_task("a", 1, 2, Mode::NF),
+                   make_task("b", 1, 3, Mode::NF)};  // U = 0.833
+  EXPECT_TRUE(edf_schedulable(ok));
+  const TaskSet bad{make_task("a", 1, 2, Mode::NF),
+                    make_task("b", 2, 3, Mode::NF)};  // U = 1.167
+  EXPECT_FALSE(edf_schedulable(bad));
+}
+
+TEST(EdfTest, ConstrainedDeadlinesNeedDemandCheck) {
+  // U < 1 but dbf(4) = 3+... : a(3,10,D=4) b(2,5,D=5):
+  // dbf(4)=3, ok; dbf(5)=3+2=5, ok; dbf(9)? a:1 job, b: floor((9)/5)=1 ->
+  // 3+2=5 <= 9 ok; dbf(10)=... 2 jobs b: floor((10)/5)=2 -> 3+4=7 <=10.
+  const TaskSet ok{make_task("a", 3, 10, 4, Mode::NF),
+                   make_task("b", 2, 5, 5, Mode::NF)};
+  EXPECT_TRUE(edf_schedulable(ok));
+  // Shrink a's deadline to 3: dbf(3) = 3, and dbf(5) = 5 still; but deadline
+  // 3 with wcet 3 plus b's 2 by 5: at t=5 demand 5 ok; make b heavier:
+  const TaskSet bad{make_task("a", 3, 10, 3, Mode::NF),
+                    make_task("b", 3, 5, 5, Mode::NF)};  // dbf(5)=6 > 5
+  EXPECT_FALSE(edf_schedulable(bad));
+}
+
+TEST(EdfTest, DemandRatioReflectsLoad) {
+  const TaskSet ts{make_task("a", 1, 2, Mode::NF)};
+  EXPECT_NEAR(edf_demand_ratio(ts), 0.5, 1e-12);
+  const TaskSet tight{make_task("a", 2, 2, Mode::NF)};
+  EXPECT_NEAR(edf_demand_ratio(tight), 1.0, 1e-12);
+}
+
+TEST(UtilBounds, LiuLaylandValues) {
+  EXPECT_DOUBLE_EQ(liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(liu_layland_bound(2), 0.8284, 1e-4);
+  EXPECT_NEAR(liu_layland_bound(3), 0.7798, 1e-4);
+}
+
+TEST(UtilBounds, HyperbolicDominatesLiuLayland) {
+  // U1 = U2 = 0.41: sum 0.82 < LL(2) 0.828 -> both pass.
+  const TaskSet easy{make_task("a", 0.41, 1, Mode::NF),
+                     make_task("b", 4.1, 10, Mode::NF)};
+  EXPECT_TRUE(rm_liu_layland_schedulable(easy));
+  EXPECT_TRUE(rm_hyperbolic_schedulable(easy));
+  // (1.45)(1.37) = 1.9865 <= 2 passes hyperbolic but sum 0.82... make a set
+  // that passes HB and fails LL: U = {0.45, 0.37}: sum = 0.82 < 0.828 hmm.
+  // Use {0.5, 0.33}: sum 0.83 > LL 0.828, product 1.5*1.33 = 1.995 <= 2.
+  const TaskSet edge{make_task("a", 0.5, 1, Mode::NF),
+                     make_task("b", 3.3, 10, Mode::NF)};
+  EXPECT_FALSE(rm_liu_layland_schedulable(edge));
+  EXPECT_TRUE(rm_hyperbolic_schedulable(edge));
+}
+
+}  // namespace
+}  // namespace flexrt::rt

@@ -1,0 +1,201 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/paper_example.hpp"
+
+namespace flexrt::sim {
+namespace {
+
+using rt::make_task;
+using rt::Mode;
+using rt::TaskSet;
+
+// A schedule giving every mode a 1-unit usable slot in a 4-unit frame
+// (slack at the end), no overheads: integers, so tick-exact.
+core::ModeSchedule unit_schedule() {
+  core::ModeSchedule s;
+  s.period = 4.0;
+  s.ft = {1.0, 0.0};
+  s.fs = {1.0, 0.0};
+  s.nf = {1.0, 0.0};
+  return s;
+}
+
+core::ModeTaskSystem single_nf_task(double wcet, double period) {
+  TaskSet ch0{make_task("only", wcet, period, Mode::NF)};
+  return core::ModeTaskSystem({}, {}, {ch0});
+}
+
+TEST(Simulator, SingleTaskMeetsGenerousDeadlines) {
+  // One NF task (1, 8): per 4-unit frame it gets 1 unit at offset [2,3).
+  const auto sys = single_nf_task(1.0, 8.0);
+  SimOptions opt;
+  opt.horizon = 400.0;
+  const SimResult r = simulate(sys, unit_schedule(), opt);
+  ASSERT_EQ(r.tasks.size(), 1u);
+  EXPECT_EQ(r.tasks[0].releases, 50u);
+  EXPECT_EQ(r.tasks[0].completions, 50u);
+  EXPECT_EQ(r.tasks[0].deadline_misses, 0u);
+  // Released at 0, NF window [2,3): response exactly 3 time units.
+  EXPECT_EQ(r.tasks[0].max_response, to_ticks(3.0));
+}
+
+TEST(Simulator, OverloadedTaskMissesDeadlines) {
+  // Demand 3 per period 4 but NF supplies only 1 per frame of 4.
+  const auto sys = single_nf_task(3.0, 4.0);
+  SimOptions opt;
+  opt.horizon = 100.0;
+  const SimResult r = simulate(sys, unit_schedule(), opt);
+  EXPECT_GT(r.tasks[0].deadline_misses, 10u);
+}
+
+TEST(Simulator, KillOnMissStopsLateJobs) {
+  const auto sys = single_nf_task(3.0, 4.0);
+  SimOptions opt;
+  opt.horizon = 100.0;
+  opt.kill_on_miss = true;
+  const SimResult r = simulate(sys, unit_schedule(), opt);
+  EXPECT_GT(r.tasks[0].deadline_misses, 10u);
+  // Killed jobs never complete; with kill-on-miss every job either
+  // completes in time or is killed at its deadline.
+  EXPECT_EQ(r.tasks[0].completions, 0u);  // 3 > 1 supply: none can make it
+}
+
+TEST(Simulator, FixedPriorityPreemption) {
+  // Two NF tasks on the SAME channel; FP: shorter deadline wins.
+  TaskSet ch0{make_task("hi", 1.0, 8.0, Mode::NF),
+              make_task("lo", 2.0, 16.0, Mode::NF)};
+  core::ModeTaskSystem sys({}, {}, {ch0});
+  core::ModeSchedule s;
+  s.period = 4.0;
+  s.ft = {0.0, 0.0};
+  s.fs = {0.0, 0.0};
+  s.nf = {2.0, 0.0};  // NF gets [0,2) of every frame
+  SimOptions opt;
+  opt.horizon = 160.0;
+  opt.scheduler = hier::Scheduler::FP;
+  const SimResult r = simulate(sys, s, opt);
+  const TaskStats& hi = r.tasks[0];
+  const TaskStats& lo = r.tasks[1];
+  EXPECT_EQ(hi.deadline_misses, 0u);
+  EXPECT_EQ(lo.deadline_misses, 0u);
+  // hi runs first in every window: response 1; lo finishes by t=4+...
+  EXPECT_EQ(hi.max_response, to_ticks(1.0));
+  EXPECT_GT(lo.max_response, hi.max_response);
+}
+
+TEST(Simulator, EdfOrdersByAbsoluteDeadline) {
+  TaskSet ch0{make_task("short", 1.0, 6.0, Mode::NF),
+              make_task("long", 1.0, 30.0, Mode::NF)};
+  core::ModeTaskSystem sys({}, {}, {ch0});
+  core::ModeSchedule s;
+  s.period = 2.0;
+  s.ft = {0.0, 0.0};
+  s.fs = {0.0, 0.0};
+  s.nf = {1.0, 0.0};
+  SimOptions opt;
+  opt.horizon = 300.0;
+  opt.scheduler = hier::Scheduler::EDF;
+  const SimResult r = simulate(sys, s, opt);
+  EXPECT_EQ(r.total_misses(), 0u);
+  // "short" (deadline 6) always beats "long" (deadline 30) at time 0.
+  EXPECT_EQ(r.tasks[0].max_response, to_ticks(1.0));
+}
+
+TEST(Simulator, ChannelsOfAModeRunInParallel) {
+  // Two NF channels each with a task consuming the WHOLE NF window; both
+  // must meet deadlines because channels are parallel processors.
+  TaskSet a{make_task("a", 1.0, 4.0, Mode::NF)};
+  TaskSet b{make_task("b", 1.0, 4.0, Mode::NF)};
+  core::ModeTaskSystem sys({}, {}, {a, b});
+  core::ModeSchedule s;
+  s.period = 4.0;
+  s.ft = {1.0, 0.0};
+  s.fs = {1.0, 0.0};
+  s.nf = {1.0, 0.0};
+  SimOptions opt;
+  opt.horizon = 400.0;
+  const SimResult r = simulate(sys, s, opt);
+  EXPECT_EQ(r.total_misses(), 0u);
+  EXPECT_EQ(r.tasks[0].completions, 100u);
+  EXPECT_EQ(r.tasks[1].completions, 100u);
+}
+
+TEST(Simulator, ModesAreTemporallyIsolated) {
+  // An overloaded NF channel must not disturb FT tasks.
+  TaskSet ft{make_task("ft", 0.5, 4.0, Mode::FT)};
+  TaskSet nf{make_task("hog", 4.0, 4.0, Mode::NF)};
+  core::ModeTaskSystem sys({ft}, {}, {nf});
+  SimOptions opt;
+  opt.horizon = 400.0;
+  const SimResult r = simulate(sys, unit_schedule(), opt);
+  EXPECT_EQ(r.tasks[0].deadline_misses, 0u);   // FT task fine
+  EXPECT_GT(r.tasks[1].deadline_misses, 10u);  // NF hog drowns
+}
+
+TEST(Simulator, BusyTimeAccountedPerMode) {
+  const auto sys = single_nf_task(1.0, 8.0);
+  SimOptions opt;
+  opt.horizon = 80.0;
+  const SimResult r = simulate(sys, unit_schedule(), opt);
+  // 10 jobs x 1 unit, all in NF mode.
+  EXPECT_EQ(r.busy_ticks[2], to_ticks(10.0));
+  EXPECT_EQ(r.busy_ticks[0], 0);
+  EXPECT_EQ(r.busy_ticks[1], 0);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  TaskSet ch0{make_task("x", 0.7, 5.0, Mode::NF),
+              make_task("y", 1.3, 9.0, Mode::NF)};
+  core::ModeTaskSystem sys({}, {}, {ch0});
+  SimOptions opt;
+  opt.horizon = 500.0;
+  opt.sporadic_jitter = 0.5;
+  opt.seed = 99;
+  const SimResult r1 = simulate(sys, unit_schedule(), opt);
+  const SimResult r2 = simulate(sys, unit_schedule(), opt);
+  ASSERT_EQ(r1.tasks.size(), r2.tasks.size());
+  for (std::size_t i = 0; i < r1.tasks.size(); ++i) {
+    EXPECT_EQ(r1.tasks[i].releases, r2.tasks[i].releases);
+    EXPECT_EQ(r1.tasks[i].completions, r2.tasks[i].completions);
+    EXPECT_EQ(r1.tasks[i].max_response, r2.tasks[i].max_response);
+    EXPECT_EQ(r1.tasks[i].total_response, r2.tasks[i].total_response);
+  }
+}
+
+TEST(Simulator, SporadicJitterStretchesArrivals) {
+  const auto sys = single_nf_task(0.5, 8.0);
+  SimOptions strict;
+  strict.horizon = 800.0;
+  SimOptions jittered = strict;
+  jittered.sporadic_jitter = 4.0;
+  const SimResult a = simulate(sys, unit_schedule(), strict);
+  const SimResult b = simulate(sys, unit_schedule(), jittered);
+  EXPECT_LT(b.tasks[0].releases, a.tasks[0].releases);
+  EXPECT_EQ(b.total_misses(), 0u);  // sporadic delays only reduce load
+}
+
+TEST(Simulator, RecordedSupplyMatchesFrameLayout) {
+  const auto sys = single_nf_task(0.5, 8.0);
+  SimOptions opt;
+  opt.horizon = 40.0;  // 10 frames of 4
+  opt.record_supply = true;
+  Simulator sim(sys, unit_schedule(), opt);
+  sim.run();
+  // Each mode gets 1 unit per 4-unit frame.
+  EXPECT_EQ(sim.supply(Mode::FT).total(), to_ticks(10.0));
+  EXPECT_EQ(sim.supply(Mode::FS).total(), to_ticks(10.0));
+  EXPECT_EQ(sim.supply(Mode::NF).total(), to_ticks(10.0));
+}
+
+TEST(Simulator, RejectsNonPositiveHorizon) {
+  const auto sys = single_nf_task(1.0, 8.0);
+  SimOptions opt;
+  opt.horizon = 0.0;
+  EXPECT_THROW(Simulator(sys, unit_schedule(), opt), ModelError);
+}
+
+}  // namespace
+}  // namespace flexrt::sim

@@ -1,0 +1,121 @@
+#include "hier/supply.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace flexrt::hier {
+namespace {
+
+TEST(LinearSupply, ShapeAndParameters) {
+  const LinearSupply z(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(z.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(z.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(z.value(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(z.value(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(z.rate(), 0.5);
+  EXPECT_DOUBLE_EQ(z.delay(), 2.0);
+}
+
+TEST(LinearSupply, RejectsBadParameters) {
+  EXPECT_THROW(LinearSupply(0.0, 1.0), ModelError);
+  EXPECT_THROW(LinearSupply(1.5, 1.0), ModelError);
+  EXPECT_THROW(LinearSupply(0.5, -1.0), ModelError);
+}
+
+TEST(SlotSupply, Lemma1WorkedValues) {
+  // P = 10, usable q = 3: worst window starts right after a slot ends.
+  const SlotSupply z(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(z.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(z.value(7.0), 0.0);    // still in the gap (P - q = 7)
+  EXPECT_DOUBLE_EQ(z.value(8.0), 1.0);    // ramping
+  EXPECT_DOUBLE_EQ(z.value(10.0), 3.0);   // one full quantum
+  EXPECT_DOUBLE_EQ(z.value(12.0), 3.0);   // flat again
+  EXPECT_DOUBLE_EQ(z.value(17.0), 3.0);   // gap of second period
+  EXPECT_DOUBLE_EQ(z.value(18.5), 4.5);   // ramping in second period
+  EXPECT_DOUBLE_EQ(z.value(20.0), 6.0);
+  EXPECT_DOUBLE_EQ(z.rate(), 0.3);
+  EXPECT_DOUBLE_EQ(z.delay(), 7.0);
+}
+
+TEST(SlotSupply, FullAndZeroBudgetEdges) {
+  const SlotSupply full(5.0, 5.0);
+  EXPECT_DOUBLE_EQ(full.value(3.3), 3.3);  // dedicated processor
+  const SlotSupply none(5.0, 0.0);
+  EXPECT_DOUBLE_EQ(none.value(100.0), 0.0);
+}
+
+TEST(SlotSupply, RejectsBadParameters) {
+  EXPECT_THROW(SlotSupply(0.0, 0.0), ModelError);
+  EXPECT_THROW(SlotSupply(5.0, 6.0), ModelError);
+}
+
+TEST(PeriodicResource, ShinLeeWorstCaseShape) {
+  // Pi = 10, Theta = 3: sbf = 0 until 2*(Pi-Theta) = 14.
+  const PeriodicResource g(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(g.value(14.0), 0.0);
+  EXPECT_DOUBLE_EQ(g.value(15.0), 1.0);
+  EXPECT_DOUBLE_EQ(g.value(17.0), 3.0);
+  EXPECT_DOUBLE_EQ(g.value(24.0), 3.0);  // flat across the gap
+  EXPECT_DOUBLE_EQ(g.value(27.0), 6.0);
+  EXPECT_DOUBLE_EQ(g.delay(), 14.0);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized properties over (period, usable) combinations.
+class SupplyProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SupplyProperty, LinearBoundNeverExceedsExactSupply) {
+  const auto [period, fraction] = GetParam();
+  const SlotSupply exact(period, fraction * period);
+  const LinearSupply linear = exact.linear_bound();
+  for (double t = 0.0; t <= 5.0 * period; t += period / 37.0) {
+    EXPECT_LE(linear.value(t), exact.value(t) + 1e-9)
+        << "P=" << period << " q=" << fraction * period << " t=" << t;
+  }
+}
+
+TEST_P(SupplyProperty, ExactSupplyIsMonotoneAnd1Lipschitz) {
+  const auto [period, fraction] = GetParam();
+  const SlotSupply z(period, fraction * period);
+  double prev = 0.0;
+  const double step = period / 53.0;
+  for (double t = step; t <= 4.0 * period; t += step) {
+    const double v = z.value(t);
+    EXPECT_GE(v, prev - 1e-12);
+    EXPECT_LE(v - prev, step + 1e-9);  // cannot supply faster than time
+    prev = v;
+  }
+}
+
+TEST_P(SupplyProperty, SupplyPerPeriodEqualsUsable) {
+  const auto [period, fraction] = GetParam();
+  const SlotSupply z(period, fraction * period);
+  // Z(kP) = k*q exactly (Lemma 1 at period multiples).
+  for (int k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(z.value(k * period), k * fraction * period, 1e-9);
+  }
+}
+
+TEST_P(SupplyProperty, PeriodicResourceLowerBoundsSlotModel) {
+  // Pinning the budget position (slot model) can only help: the Shin-Lee
+  // sbf with the same (Pi, Theta) is a pointwise lower bound.
+  const auto [period, fraction] = GetParam();
+  if (fraction <= 0.0) return;
+  const SlotSupply slot(period, fraction * period);
+  const PeriodicResource pr(period, fraction * period);
+  for (double t = 0.0; t <= 5.0 * period; t += period / 41.0) {
+    EXPECT_LE(pr.value(t), slot.value(t) + 1e-9) << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SupplyProperty,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 3.0, 10.0, 42.5),
+                       ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 1.0)));
+
+}  // namespace
+}  // namespace flexrt::hier

@@ -1,0 +1,54 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace flexrt {
+namespace {
+
+TEST(Table, PrintsAlignedColumnsWithRule) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 2);
+  t.row().cell("b").cell(std::int64_t{42});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell("x").cell(2.0, 1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,2.0\n");
+}
+
+TEST(Table, RejectsTooManyCells) {
+  Table t({"only"});
+  t.row().cell("ok");
+  EXPECT_THROW(t.cell("overflow"), ModelError);
+}
+
+TEST(Table, RejectsCellBeforeRow) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), ModelError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ModelError);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 3), "3.142");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace flexrt

@@ -1,0 +1,100 @@
+#include "rt/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "rt/priority.hpp"
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+namespace {
+
+TEST(Task, ImplicitDeadlineFactory) {
+  const Task t = make_task("a", 2.0, 10.0, Mode::FT);
+  EXPECT_EQ(t.deadline, 10.0);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.2);
+  EXPECT_EQ(t.mode, Mode::FT);
+}
+
+TEST(Task, ConstrainedDeadlineFactory) {
+  const Task t = make_task("a", 2.0, 10.0, 6.0, Mode::FS);
+  EXPECT_EQ(t.deadline, 6.0);
+}
+
+TEST(Task, ValidationRejectsBadParameters) {
+  EXPECT_THROW(make_task("x", 0.0, 10.0, Mode::NF), ModelError);
+  EXPECT_THROW(make_task("x", -1.0, 10.0, Mode::NF), ModelError);
+  EXPECT_THROW(make_task("x", 1.0, 0.0, Mode::NF), ModelError);
+  EXPECT_THROW(make_task("x", 1.0, 10.0, 12.0, Mode::NF), ModelError);  // D>T
+  EXPECT_THROW(make_task("x", 5.0, 10.0, 4.0, Mode::NF), ModelError);   // C>D
+}
+
+TEST(Task, ModeNames) {
+  EXPECT_STREQ(to_string(Mode::FT), "FT");
+  EXPECT_STREQ(to_string(Mode::FS), "FS");
+  EXPECT_STREQ(to_string(Mode::NF), "NF");
+}
+
+TEST(TaskSet, UtilizationSumsAndMax) {
+  TaskSet ts{make_task("a", 1, 4, Mode::NF), make_task("b", 1, 2, Mode::NF)};
+  EXPECT_DOUBLE_EQ(ts.utilization(), 0.75);
+  EXPECT_DOUBLE_EQ(ts.max_utilization(), 0.5);
+}
+
+TEST(TaskSet, HyperperiodIntegerPeriods) {
+  TaskSet ts{make_task("a", 1, 4, Mode::NF), make_task("b", 1, 6, Mode::NF),
+             make_task("c", 1, 10, Mode::NF)};
+  EXPECT_DOUBLE_EQ(ts.hyperperiod(), 60.0);
+}
+
+TEST(TaskSet, HyperperiodFractionalPeriodsOnGrid) {
+  TaskSet ts{make_task("a", 0.1, 0.5, Mode::NF),
+             make_task("b", 0.1, 0.75, Mode::NF)};
+  EXPECT_NEAR(ts.hyperperiod(), 1.5, 1e-9);
+}
+
+TEST(TaskSet, ByModeFilters) {
+  TaskSet ts{make_task("a", 1, 4, Mode::NF), make_task("b", 1, 6, Mode::FT),
+             make_task("c", 1, 8, Mode::FT)};
+  EXPECT_EQ(ts.by_mode(Mode::FT).size(), 2u);
+  EXPECT_EQ(ts.by_mode(Mode::NF).size(), 1u);
+  EXPECT_EQ(ts.by_mode(Mode::FS).size(), 0u);
+}
+
+TEST(TaskSet, EmptySetProperties) {
+  const TaskSet ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.utilization(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.hyperperiod(), 1e-6);  // lcm of nothing = 1 grid unit
+}
+
+TEST(Priority, RateMonotonicSortsByPeriod) {
+  TaskSet ts{make_task("slow", 1, 20, Mode::NF),
+             make_task("fast", 1, 5, Mode::NF),
+             make_task("mid", 1, 10, Mode::NF)};
+  const TaskSet rm = sort_rate_monotonic(ts);
+  EXPECT_EQ(rm[0].name, "fast");
+  EXPECT_EQ(rm[1].name, "mid");
+  EXPECT_EQ(rm[2].name, "slow");
+  EXPECT_TRUE(is_rate_monotonic_order(rm));
+  EXPECT_FALSE(is_rate_monotonic_order(ts));
+}
+
+TEST(Priority, DeadlineMonotonicSortsByDeadline) {
+  TaskSet ts{make_task("a", 1, 20, 18, Mode::NF),
+             make_task("b", 1, 30, 5, Mode::NF)};
+  const TaskSet dm = sort_deadline_monotonic(ts);
+  EXPECT_EQ(dm[0].name, "b");
+  EXPECT_TRUE(is_deadline_monotonic_order(dm));
+}
+
+TEST(Priority, StableOnTies) {
+  TaskSet ts{make_task("first", 1, 10, Mode::NF),
+             make_task("second", 2, 10, Mode::NF)};
+  const TaskSet rm = sort_rate_monotonic(ts);
+  EXPECT_EQ(rm[0].name, "first");
+  EXPECT_EQ(rm[1].name, "second");
+}
+
+}  // namespace
+}  // namespace flexrt::rt

@@ -1,0 +1,127 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/paper_example.hpp"
+#include "sim/simulator.hpp"
+
+namespace flexrt::sim {
+namespace {
+
+TEST(Trace, RecordsUpToCapacityAndCounts) {
+  Trace t(3);
+  for (int i = 0; i < 5; ++i) {
+    t.record(i, TraceKind::Release, "x", i);
+  }
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.total_recorded(), 5u);
+  EXPECT_TRUE(t.truncated());
+}
+
+TEST(Trace, DisabledTraceRecordsNothing) {
+  Trace t(0);
+  EXPECT_FALSE(t.enabled());
+  t.record(1, TraceKind::Fault, "");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, PrintFormat) {
+  Trace t(10);
+  t.record(to_ticks(1.5), TraceKind::Start, "tau1", 2);
+  t.record(to_ticks(2.0), TraceKind::Fault, "", 3);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("[1.500000] start tau1 (2)"), std::string::npos);
+  EXPECT_NE(out.find("[2.000000] fault (3)"), std::string::npos);
+  EXPECT_EQ(out.find("truncated"), std::string::npos);
+}
+
+TEST(Trace, PrintMarksTruncation) {
+  Trace t(1);
+  t.record(0, TraceKind::Release, "a");
+  t.record(1, TraceKind::Release, "b");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1 more events (truncated)"), std::string::npos);
+}
+
+TEST(Trace, KindNamesComplete) {
+  for (const TraceKind k :
+       {TraceKind::Release, TraceKind::Start, TraceKind::Preempt,
+        TraceKind::Suspend, TraceKind::Complete, TraceKind::Silence,
+        TraceKind::Kill, TraceKind::DeadlineMiss, TraceKind::WindowOpen,
+        TraceKind::WindowClose, TraceKind::Fault}) {
+    EXPECT_STRNE(to_string(k), "?");
+  }
+}
+
+TEST(SimulatorTrace, CapturesLifecycleInOrder) {
+  rt::TaskSet ch0{rt::make_task("only", 1.0, 8.0, rt::Mode::NF)};
+  core::ModeTaskSystem sys({}, {}, {ch0});
+  core::ModeSchedule s;
+  s.period = 4.0;
+  s.ft = {1.0, 0.0};
+  s.fs = {1.0, 0.0};
+  s.nf = {1.0, 0.0};
+  SimOptions opt;
+  opt.horizon = 8.0;
+  opt.trace_capacity = 256;
+  Simulator sim(sys, s, opt);
+  sim.run();
+  const auto& ev = sim.trace().events();
+  ASSERT_FALSE(ev.empty());
+  // Events are time-ordered.
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_GE(ev[i].time, ev[i - 1].time);
+  }
+  // The first job's lifecycle: release at 0, start at 2 (NF window), then
+  // complete at 3.
+  auto find = [&](TraceKind kind) -> const TraceEvent* {
+    for (const TraceEvent& e : ev) {
+      if (e.kind == kind) return &e;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find(TraceKind::Release), nullptr);
+  ASSERT_NE(find(TraceKind::Start), nullptr);
+  ASSERT_NE(find(TraceKind::Complete), nullptr);
+  EXPECT_EQ(find(TraceKind::Release)->time, 0);
+  EXPECT_EQ(find(TraceKind::Start)->time, to_ticks(2.0));
+  EXPECT_EQ(find(TraceKind::Complete)->time, to_ticks(3.0));
+  EXPECT_EQ(find(TraceKind::Start)->who, "only");
+  // Window events for all three modes appear.
+  ASSERT_NE(find(TraceKind::WindowOpen), nullptr);
+  ASSERT_NE(find(TraceKind::WindowClose), nullptr);
+}
+
+TEST(SimulatorTrace, RecordsPreemptionAndMisses) {
+  rt::TaskSet ch0{rt::make_task("hi", 1.0, 4.0, 2.0, rt::Mode::NF),
+                  rt::make_task("lo", 9.0, 10.0, rt::Mode::NF)};
+  core::ModeTaskSystem sys({}, {}, {ch0});
+  core::ModeSchedule s;
+  s.period = 2.0;
+  s.ft = {0.0, 0.0};
+  s.fs = {0.0, 0.0};
+  s.nf = {2.0, 0.0};  // NF owns the whole frame
+  SimOptions opt;
+  opt.horizon = 40.0;
+  opt.scheduler = hier::Scheduler::FP;
+  opt.trace_capacity = 4096;
+  Simulator sim(sys, s, opt);
+  const SimResult r = sim.run();
+  bool saw_preempt = false, saw_miss = false;
+  for (const TraceEvent& e : sim.trace().events()) {
+    saw_preempt |= e.kind == TraceKind::Preempt && e.who == "lo";
+    saw_miss |= e.kind == TraceKind::DeadlineMiss;
+  }
+  EXPECT_TRUE(saw_preempt);  // hi preempts lo every 4 units
+  // Total utilization 0.9 + 0.25 = 1.15 > 1: lo must miss.
+  EXPECT_EQ(saw_miss, r.total_misses() > 0);
+  EXPECT_TRUE(saw_miss);
+}
+
+}  // namespace
+}  // namespace flexrt::sim

@@ -1,0 +1,232 @@
+// flexrt_design -- command-line front-end of the design methodology.
+//
+// Reads a task set (see src/io/task_io.hpp for the format), solves the
+// mode-switching frame for the requested goal, prints the design, and
+// optionally validates it in the discrete-event simulator.
+//
+// Usage:
+//   flexrt_design <taskfile> [--alg edf|rm] [--goal min-overhead|max-slack]
+//                 [--overhead O_FT,O_FS,O_NF] [--simulate HORIZON]
+//                 [--fault-rate R] [--trace N] [--sensitivity]
+//                 [--response-times] [--csv]
+//
+// Exit status: 0 on success, 1 on infeasible design or simulated misses,
+// 2 on usage / input errors.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/design.hpp"
+#include "core/sensitivity.hpp"
+#include "hier/response_time.hpp"
+#include "io/task_io.hpp"
+#include "rt/priority.hpp"
+#include "sim/simulator.hpp"
+
+using namespace flexrt;
+
+namespace {
+
+struct Args {
+  std::string file;
+  hier::Scheduler alg = hier::Scheduler::EDF;
+  core::DesignGoal goal = core::DesignGoal::MinOverheadBandwidth;
+  core::Overheads overheads{0.0, 0.0, 0.0};
+  double simulate_horizon = 0.0;
+  double fault_rate = 0.0;
+  std::size_t trace = 0;
+  bool sensitivity = false;
+  bool response_times = false;
+  bool csv = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: flexrt_design <taskfile> [--alg edf|rm]\n"
+         "         [--goal min-overhead|max-slack]\n"
+         "         [--overhead O_FT,O_FS,O_NF] [--simulate HORIZON]\n"
+         "         [--fault-rate R] [--trace N] [--sensitivity]\n"
+         "         [--response-times] [--csv]\n";
+  return 2;
+}
+
+bool parse_overheads(const std::string& spec, core::Overheads& out) {
+  std::istringstream in(spec);
+  char c1 = 0, c2 = 0;
+  return static_cast<bool>(in >> out.ft >> c1 >> out.fs >> c2 >> out.nf) &&
+         c1 == ',' && c2 == ',';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--alg") {
+      const char* v = next();
+      if (!v) return usage();
+      if (std::strcmp(v, "edf") == 0) {
+        args.alg = hier::Scheduler::EDF;
+      } else if (std::strcmp(v, "rm") == 0) {
+        args.alg = hier::Scheduler::FP;
+      } else {
+        return usage();
+      }
+    } else if (a == "--goal") {
+      const char* v = next();
+      if (!v) return usage();
+      if (std::strcmp(v, "min-overhead") == 0) {
+        args.goal = core::DesignGoal::MinOverheadBandwidth;
+      } else if (std::strcmp(v, "max-slack") == 0) {
+        args.goal = core::DesignGoal::MaxSlackBandwidth;
+      } else {
+        return usage();
+      }
+    } else if (a == "--overhead") {
+      const char* v = next();
+      if (!v || !parse_overheads(v, args.overheads)) return usage();
+    } else if (a == "--simulate") {
+      const char* v = next();
+      if (!v) return usage();
+      args.simulate_horizon = std::stod(v);
+    } else if (a == "--fault-rate") {
+      const char* v = next();
+      if (!v) return usage();
+      args.fault_rate = std::stod(v);
+    } else if (a == "--trace") {
+      const char* v = next();
+      if (!v) return usage();
+      args.trace = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--sensitivity") {
+      args.sensitivity = true;
+    } else if (a == "--response-times") {
+      args.response_times = true;
+    } else if (a == "--csv") {
+      args.csv = true;
+    } else if (args.file.empty() && a[0] != '-') {
+      args.file = a;
+    } else {
+      return usage();
+    }
+  }
+  if (args.file.empty()) return usage();
+
+  try {
+    std::ifstream in(args.file);
+    if (!in) {
+      std::cerr << "cannot open " << args.file << "\n";
+      return 2;
+    }
+    const io::ParsedSystem parsed = io::parse_mode_task_system(in);
+    const core::ModeTaskSystem& sys = parsed.system;
+
+    std::cout << "loaded " << sys.num_tasks() << " tasks (FT "
+              << sys.mode_tasks(rt::Mode::FT).size() << ", FS "
+              << sys.mode_tasks(rt::Mode::FS).size() << ", NF "
+              << sys.mode_tasks(rt::Mode::NF).size() << "; channels "
+              << (parsed.had_explicit_channels ? "from file" : "auto-packed")
+              << ")\n";
+
+    const core::Design d =
+        core::solve_design(sys, args.alg, args.overheads, args.goal);
+    std::cout << "design (" << to_string(args.alg) << ", "
+              << to_string(args.goal) << "): " << d.schedule << "\n";
+
+    Table t({"mode", "quantum", "overhead", "alloc_bw", "required_bw"});
+    for (const rt::Mode mode : core::kAllModes) {
+      t.row()
+          .cell(rt::to_string(mode))
+          .cell(d.schedule.slot(mode).usable, 4)
+          .cell(d.schedule.slot(mode).overhead, 4)
+          .cell(d.schedule.allocated_bandwidth(mode), 4)
+          .cell(sys.required_bandwidth(mode), 4);
+    }
+    args.csv ? t.print_csv(std::cout) : t.print(std::cout);
+
+    if (args.sensitivity) {
+      std::cout << "\nsensitivity (max WCET scale keeping the design "
+                   "feasible, cap 16x):\n";
+      Table st({"task", "mode", "wcet", "scale_margin"});
+      for (const core::TaskMargin& m :
+           core::sensitivity_report(sys, d.schedule, args.alg)) {
+        st.row()
+            .cell(m.name)
+            .cell(rt::to_string(m.mode))
+            .cell(m.wcet, 3)
+            .cell(m.scale_margin, 3);
+      }
+      args.csv ? st.print_csv(std::cout) : st.print(std::cout);
+      std::cout << "global simultaneous scale margin: "
+                << format_fixed(core::global_scale_margin(sys, d.schedule,
+                                                          args.alg),
+                                3)
+                << "\n";
+    }
+
+    if (args.response_times) {
+      if (args.alg != hier::Scheduler::FP) {
+        std::cout << "\n(response-time bounds are available for FP only; "
+                     "rerun with --alg rm)\n";
+      } else {
+        std::cout << "\nworst-case response-time bounds (exact slot "
+                     "supply):\n";
+        Table rtb({"task", "mode", "deadline", "response_bound"});
+        for (const rt::Mode mode : core::kAllModes) {
+          for (const rt::TaskSet& raw : sys.partitions(mode)) {
+            if (raw.empty()) continue;
+            const rt::TaskSet ordered = rt::sort_deadline_monotonic(raw);
+            const auto bounds = hier::fp_response_times(
+                ordered, d.schedule.exact_supply(mode));
+            for (std::size_t i = 0; i < ordered.size(); ++i) {
+              rtb.row()
+                  .cell(ordered[i].name)
+                  .cell(rt::to_string(mode))
+                  .cell(ordered[i].deadline, 3);
+              if (bounds[i]) {
+                rtb.cell(*bounds[i], 3);
+              } else {
+                rtb.cell("miss");
+              }
+            }
+          }
+        }
+        args.csv ? rtb.print_csv(std::cout) : rtb.print(std::cout);
+      }
+    }
+
+    if (args.simulate_horizon > 0.0) {
+      sim::SimOptions opt;
+      opt.horizon = args.simulate_horizon;
+      opt.scheduler = args.alg;
+      opt.faults = {args.fault_rate, 2.0};
+      opt.trace_capacity = args.trace;
+      sim::Simulator simulator(sys, d.schedule, opt);
+      const sim::SimResult r = simulator.run();
+      std::cout << "\nsimulated " << args.simulate_horizon << " units: "
+                << r.total_misses() << " misses, " << r.faults.injected
+                << " faults (" << r.faults.masked << " masked, "
+                << r.faults.silenced << " silenced, " << r.faults.corrupting
+                << " corrupting)\n";
+      if (args.trace > 0) {
+        std::cout << "--- trace ---\n";
+        simulator.trace().print(std::cout);
+      }
+      if (r.total_misses() > 0) return 1;
+    }
+    return 0;
+  } catch (const InfeasibleError& e) {
+    std::cerr << "infeasible: " << e.what() << "\n";
+    return 1;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
