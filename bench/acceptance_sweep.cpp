@@ -7,13 +7,18 @@
 // the exact supply dominates the linear bound.
 //
 // Usage: acceptance_sweep [--csv] [--trials N]
+#include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "core/analysis_engine.hpp"
 #include "core/integration.hpp"
 #include "gen/taskset_gen.hpp"
 
@@ -21,19 +26,23 @@ using namespace flexrt;
 
 namespace {
 
-bool accepted(const core::ModeTaskSystem& sys, hier::Scheduler alg,
-              bool exact, double o_tot) {
+bool accepted(const analysis::BatchEngine& engine, bool exact, double o_tot) {
   core::SearchOptions opts;
   opts.grid_step = 5e-3;
   opts.p_max = 10.0;
   opts.use_exact_supply = exact;
   try {
-    core::max_feasible_period(sys, alg, o_tot, opts);
+    engine.max_feasible_period(o_tot, opts);
     return true;
   } catch (const InfeasibleError&) {
     return false;
   }
 }
+
+struct TrialResult {
+  bool valid = false;
+  bool edf = false, edf_x = false, rm = false, rm_x = false;
+};
 
 }  // namespace
 
@@ -43,7 +52,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
-      trials = std::stoi(argv[++i]);
+      trials = std::max(0, std::stoi(argv[++i]));
     }
   }
 
@@ -53,20 +62,36 @@ int main(int argc, char** argv) {
   Table t({"U_total", "EDF_linear", "EDF_exact", "RM_linear", "RM_exact"});
   for (double u = 0.4; u <= 2.01; u += 0.2) {
     Rng rng(0xC0FFEE ^ static_cast<std::uint64_t>(u * 1000));
-    int n_edf = 0, n_edf_x = 0, n_rm = 0, n_rm_x = 0, n_valid = 0;
+    // Generation stays serial so the drawn systems are bit-reproducible;
+    // the four analyses per trial fan out over the parallel_for runner,
+    // each trial probing two persistent BatchEngines (EDF + RM).
+    std::vector<std::optional<core::ModeTaskSystem>> systems;
+    systems.reserve(static_cast<std::size_t>(trials));
     for (int k = 0; k < trials; ++k) {
       gen::GenParams gp;
       gp.num_tasks = 10;
       gp.total_utilization = u;
       const rt::TaskSet ts = gen::generate_task_set(gp, rng);
-      const auto sys = gen::build_system(ts);
-      if (!sys) continue;  // not placeable even by utilization: count as
-                           // rejected by every analysis
-      n_valid++;
-      n_edf += accepted(*sys, hier::Scheduler::EDF, false, o_tot);
-      n_edf_x += accepted(*sys, hier::Scheduler::EDF, true, o_tot);
-      n_rm += accepted(*sys, hier::Scheduler::FP, false, o_tot);
-      n_rm_x += accepted(*sys, hier::Scheduler::FP, true, o_tot);
+      // build_system == nullopt: not placeable even by utilization; count
+      // as rejected by every analysis.
+      systems.push_back(gen::build_system(ts));
+    }
+    std::vector<TrialResult> results(systems.size());
+    par::parallel_for(systems.size(), [&](std::size_t k) {
+      if (!systems[k]) return;
+      const analysis::BatchEngine edf(*systems[k], hier::Scheduler::EDF);
+      const analysis::BatchEngine rm(*systems[k], hier::Scheduler::FP);
+      results[k] = {true, accepted(edf, false, o_tot),
+                    accepted(edf, true, o_tot), accepted(rm, false, o_tot),
+                    accepted(rm, true, o_tot)};
+    });
+    int n_edf = 0, n_edf_x = 0, n_rm = 0, n_rm_x = 0, n_valid = 0;
+    for (const TrialResult& r : results) {
+      n_valid += r.valid;
+      n_edf += r.edf;
+      n_edf_x += r.edf_x;
+      n_rm += r.rm;
+      n_rm_x += r.rm_x;
     }
     const double denom = trials;
     t.row()

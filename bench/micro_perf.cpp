@@ -2,13 +2,25 @@
 // (google-benchmark). These quantify the cost of the pieces a designer
 // iterates on: minQ evaluations, the lhs(P) curve, the full design solve,
 // and simulated time per wall second.
+//
+// Every hot kernel now comes in a before/after pair: the *Legacy variants
+// run the frozen pre-refactor kernels (bench/legacy_kernels.hpp) that
+// re-derive scheduling points / deadline sets per call, invert supplies by
+// bisection and deep-copy the system per sensitivity probe; the plain
+// variants run the batched analysis engine (AnalysisContext caches +
+// closed-form inverses + parallel_for sweeps). Keep both: the ratio is the
+// number tools/bench_report tracks across PRs.
 #include <benchmark/benchmark.h>
 
+#include "core/analysis_engine.hpp"
 #include "core/design.hpp"
 #include "core/integration.hpp"
 #include "core/paper_example.hpp"
+#include "core/sensitivity.hpp"
 #include "gen/taskset_gen.hpp"
 #include "hier/min_quantum.hpp"
+#include "legacy_kernels.hpp"
+#include "rt/analysis_context.hpp"
 #include "rt/demand.hpp"
 #include "rt/priority.hpp"
 #include "rt/sched_points.hpp"
@@ -21,6 +33,13 @@ using namespace flexrt;
 const core::ModeTaskSystem& paper_sys() {
   static const core::ModeTaskSystem sys = core::paper_example();
   return sys;
+}
+
+core::ModeSchedule paper_schedule() {
+  static const core::Design d =
+      core::solve_design(paper_sys(), hier::Scheduler::EDF, {0.02, 0.02, 0.02},
+                         core::DesignGoal::MaxSlackBandwidth);
+  return d.schedule;
 }
 
 rt::TaskSet sized_set(std::size_t n) {
@@ -42,34 +61,152 @@ void BM_SchedulingPoints(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulingPoints)->Arg(4)->Arg(8)->Arg(12);
 
-void BM_EdfDemandCurve(benchmark::State& state) {
+// --- EDF demand curve: O(n * points) per-point kernel vs one event sweep --
+
+void BM_EdfDemandCurveLegacy(benchmark::State& state) {
   const rt::TaskSet ts = sized_set(static_cast<std::size_t>(state.range(0)));
+  // deadline_set stays inside the loop: this is the seed benchmark verbatim
+  // (callers re-derived the point set per curve), so the before/after ratio
+  // keeps its meaning across PRs.
   for (auto _ : state) {
     double acc = 0.0;
     for (const double t : rt::deadline_set(ts)) acc += rt::edf_demand(ts, t);
     benchmark::DoNotOptimize(acc);
   }
 }
+BENCHMARK(BM_EdfDemandCurveLegacy)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_EdfDemandCurve(benchmark::State& state) {
+  const rt::TaskSet ts = sized_set(static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> points = rt::deadline_set(ts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::edf_demand_curve(ts, points));
+  }
+}
 BENCHMARK(BM_EdfDemandCurve)->Arg(4)->Arg(8)->Arg(12);
+
+// --- supply inversion: closed form vs bisection fallback ------------------
+
+void BM_SupplyInverseBisection(benchmark::State& state) {
+  const hier::SlotSupply slot(2.0, 0.75);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int d = 1; d <= 16; ++d) {
+      acc += slot.inverse_by_bisection(0.33 * d);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SupplyInverseBisection);
+
+void BM_SupplyInverseClosedForm(benchmark::State& state) {
+  const hier::SlotSupply slot(2.0, 0.75);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int d = 1; d <= 16; ++d) {
+      acc += slot.inverse(0.33 * d);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SupplyInverseClosedForm);
+
+// --- minQ: per-call re-derivation vs AnalysisContext probes ---------------
+// Args: {n, 0=FP | 1=EDF}. The cached variant models the design workflow
+// (one task set probed at many periods); the legacy variant is the seed
+// kernel that pays the full derivation on every call.
+
+void BM_MinQuantumLegacy(benchmark::State& state) {
+  const rt::TaskSet ts =
+      rt::sort_rate_monotonic(sized_set(static_cast<std::size_t>(state.range(0))));
+  const hier::Scheduler alg =
+      state.range(1) == 0 ? hier::Scheduler::FP : hier::Scheduler::EDF;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legacy::min_quantum(ts, alg, 2.0));
+  }
+}
+BENCHMARK(BM_MinQuantumLegacy)->Args({8, 0})->Args({8, 1})->Args({12, 0})->Args({12, 1});
 
 void BM_MinQuantum(benchmark::State& state) {
   const rt::TaskSet ts =
       rt::sort_rate_monotonic(sized_set(static_cast<std::size_t>(state.range(0))));
   const hier::Scheduler alg =
       state.range(1) == 0 ? hier::Scheduler::FP : hier::Scheduler::EDF;
+  const rt::AnalysisContext ctx(ts);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(hier::min_quantum(ts, alg, 2.0));
+    benchmark::DoNotOptimize(hier::min_quantum(ctx, alg, 2.0));
   }
 }
 BENCHMARK(BM_MinQuantum)->Args({8, 0})->Args({8, 1})->Args({12, 0})->Args({12, 1});
 
-void BM_FeasibilityMargin(benchmark::State& state) {
+// --- lhs(P): per-call engine rebuild vs persistent engine probes ----------
+
+void BM_FeasibilityMarginLegacy(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::feasibility_margin(paper_sys(), hier::Scheduler::EDF, 2.0));
+        legacy::feasibility_margin(paper_sys(), hier::Scheduler::EDF, 2.0));
+  }
+}
+BENCHMARK(BM_FeasibilityMarginLegacy);
+
+void BM_FeasibilityMargin(benchmark::State& state) {
+  const analysis::BatchEngine engine(paper_sys(), hier::Scheduler::EDF);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.feasibility_margin(2.0));
   }
 }
 BENCHMARK(BM_FeasibilityMargin);
+
+// --- sensitivity: deep-copy probes vs in-place scaled demand curves -------
+
+void BM_SensitivityReportLegacy(benchmark::State& state) {
+  const core::ModeSchedule schedule = paper_schedule();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legacy::sensitivity_report(
+        paper_sys(), schedule, hier::Scheduler::EDF));
+  }
+}
+BENCHMARK(BM_SensitivityReportLegacy);
+
+void BM_SensitivityReport(benchmark::State& state) {
+  const core::ModeSchedule schedule = paper_schedule();
+  const analysis::BatchEngine engine(paper_sys(), hier::Scheduler::EDF);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.sensitivity_report(schedule));
+  }
+}
+BENCHMARK(BM_SensitivityReport);
+
+// --- region sweep: serial loop vs parallel_for runner ---------------------
+// On a single-core host both paths degenerate to the same serial loop; the
+// pair exists so multi-core CI shows the sweep-runner scaling.
+
+void BM_SampleRegionSerial(benchmark::State& state) {
+  const analysis::BatchEngine engine(paper_sys(), hier::Scheduler::EDF);
+  core::SearchOptions opts;
+  opts.grid_step = 1e-2;
+  for (auto _ : state) {
+    std::vector<core::RegionSample> out;
+    for (double p = opts.p_min; p <= 6.0; p += opts.grid_step) {
+      out.push_back({p, engine.feasibility_margin(p)});
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SampleRegionSerial);
+
+void BM_SampleRegion(benchmark::State& state) {
+  const analysis::BatchEngine engine(paper_sys(), hier::Scheduler::EDF);
+  core::SearchOptions opts;
+  opts.grid_step = 1e-2;
+  opts.p_max = 6.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.sample_region(opts));
+  }
+}
+BENCHMARK(BM_SampleRegion);
+
+// --- end-to-end solves and simulation (unchanged shapes) ------------------
 
 void BM_SolveDesignG1(benchmark::State& state) {
   const core::Overheads ov{0.02, 0.02, 0.01};

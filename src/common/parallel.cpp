@@ -1,0 +1,155 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flexrt::par {
+namespace {
+
+// Workers run serially when a loop is too small for the handoff to pay off.
+constexpr std::size_t kSerialCutoff = 2;
+
+thread_local bool t_inside_pool = false;
+
+std::size_t resolve_thread_count() noexcept {
+  if (const char* env = std::getenv("FLEXRT_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Persistent pool: workers sleep on a condition variable and wake for each
+/// submitted loop. One loop runs at a time (submissions serialize on
+/// submit_mutex_); the caller thread participates in the loop, so the pool
+/// only needs thread_count() - 1 workers.
+class Pool {
+ public:
+  static Pool& instance() {
+    // Intentionally leaked: workers are detached and may still be parked on
+    // the condition variables during static destruction.
+    static Pool* pool = new Pool(thread_count());
+    return *pool;
+  }
+
+  void run(std::size_t n,
+           const std::function<void(std::size_t, std::size_t)>& fn) {
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    cursor_.store(0, std::memory_order_relaxed);
+    n_ = n;
+    chunk_ = std::max<std::size_t>(1, n / (8 * (workers_.size() + 1)));
+    fn_ = &fn;
+    error_ = nullptr;
+    pending_.store(workers_.size(), std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    // The caller is one of the loop's threads. Mark it pool-internal for
+    // the duration so nested parallel_for calls from the loop body run
+    // serially inline instead of deadlocking on submit_mutex_.
+    const bool was_inside = t_inside_pool;
+    t_inside_pool = true;
+    work();
+    t_inside_pool = was_inside;
+
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    done_cv_.wait(lock,
+                  [this] { return pending_.load(std::memory_order_acquire) == 0; });
+    fn_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  explicit Pool(std::size_t threads) {
+    for (std::size_t i = 0; i + 1 < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+    for (std::thread& t : workers_) t.detach();
+  }
+
+  void worker_loop() {
+    t_inside_pool = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(wake_mutex_);
+        wake_cv_.wait(lock, [&] { return generation_ != seen; });
+        seen = generation_;
+      }
+      work();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void work() {
+    for (;;) {
+      const std::size_t begin =
+          cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (begin >= n_) return;
+      const std::size_t end = std::min(n_, begin + chunk_);
+      try {
+        (*fn_)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+  }
+
+  std::mutex submit_mutex_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::size_t n_ = 0;
+  std::size_t chunk_ = 1;
+  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
+  std::exception_ptr error_;
+  std::vector<std::thread> workers_;
+};
+
+void run_loop(std::size_t n,
+              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (thread_count() == 1 || n < kSerialCutoff || t_inside_pool) {
+    fn(0, n);
+    return;
+  }
+  Pool::instance().run(n, fn);
+}
+
+}  // namespace
+
+std::size_t thread_count() noexcept {
+  static const std::size_t count = resolve_thread_count();
+  return count;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  run_loop(n, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void parallel_for_chunked(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  run_loop(n, fn);
+}
+
+}  // namespace flexrt::par

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace flexrt::par {
+
+/// Number of worker threads backing parallel_for (>= 1). Resolved once per
+/// process: the FLEXRT_THREADS environment variable when set to a positive
+/// integer, otherwise std::thread::hardware_concurrency().
+std::size_t thread_count() noexcept;
+
+/// Runs fn(i) for every i in [0, n) across a process-wide persistent thread
+/// pool and blocks until all iterations finished. Iterations are handed out
+/// in index-chunks via an atomic cursor, so the load balances even when
+/// iteration costs are skewed (e.g. period probes near the feasibility
+/// boundary converge slower).
+///
+/// Semantics:
+///  - fn must be safe to call concurrently from different threads; writes
+///    should go to disjoint slots (the canonical pattern is a preallocated
+///    results vector indexed by i, which keeps output order deterministic).
+///  - The first exception thrown by any iteration is rethrown to the caller
+///    after the loop drains; remaining iterations may or may not run.
+///  - Calls from inside a pool worker (nested parallelism) and loops too
+///    small to amortize the handoff run serially inline -- callers never
+///    need to special-case either.
+///
+/// This is the sweep runner behind sample_region, max_feasible_period,
+/// sensitivity_report and the bench sweeps.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// Chunked variant: fn(begin, end) receives half-open index ranges. Useful
+/// when per-iteration dispatch would dominate (very cheap bodies).
+void parallel_for_chunked(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace flexrt::par

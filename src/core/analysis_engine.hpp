@@ -1,0 +1,115 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/integration.hpp"
+#include "core/mode_system.hpp"
+#include "core/schedule.hpp"
+#include "core/sensitivity.hpp"
+#include "hier/sched_test.hpp"
+#include "rt/analysis_context.hpp"
+
+namespace flexrt::analysis {
+
+/// Batched analysis engine: the per-partition AnalysisContexts of a
+/// ModeTaskSystem built once and probed many times. Every design-space
+/// iteration the paper's methodology runs -- lhs(P) curves, feasible-period
+/// searches, quantum bisections, WCET sensitivity margins -- re-asks the
+/// same task sets the same questions at different supplies; the engine
+/// caches the task-set side (scheduling points, deadline sets, demand
+/// curves) so each probe only evaluates the supply.
+///
+/// Construction is cheap (task-set snapshots; caches materialize lazily on
+/// first probe) and the engine is immutable afterwards: const engines are
+/// safe to probe from multiple threads, which is what the parallel sweep
+/// methods (sample_region, max_feasible_period, sensitivity_report) do via
+/// par::parallel_for.
+///
+/// The free functions in core/integration.hpp and core/sensitivity.hpp are
+/// one-shot conveniences that build a throwaway engine; hold a BatchEngine
+/// when issuing many queries against one system.
+class BatchEngine {
+ public:
+  BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg);
+
+  hier::Scheduler scheduler() const noexcept { return alg_; }
+
+  // --- period-side kernels (Eq. 15) --------------------------------------
+
+  /// max over the mode's channels of minQ(T_k^i, alg, P); FP channels are
+  /// analysed in deadline-monotonic order (== core::mode_min_quantum).
+  double mode_min_quantum(rt::Mode mode, double period,
+                          bool use_exact_supply = false) const;
+
+  /// lhs(P) = P - sum_k mode_min_quantum(k, P)  (== core::feasibility_margin).
+  double feasibility_margin(double period, bool use_exact_supply = false) const;
+
+  /// Figure-4 series over [p_min, p_max]; grid samples run under
+  /// par::parallel_for.
+  std::vector<core::RegionSample> sample_region(
+      const core::SearchOptions& opts = {}) const;
+
+  /// sup { P : lhs(P) >= o_tot }; the grid scan evaluates blocks of
+  /// candidate periods in parallel, the refinement bisection is serial.
+  double max_feasible_period(double o_tot,
+                             const core::SearchOptions& opts = {}) const;
+
+  /// argmax_P lhs(P)  (== core::max_admissible_overhead).
+  core::OverheadLimit max_admissible_overhead(
+      const core::SearchOptions& opts = {}) const;
+
+  /// argmax_P (lhs(P) - o_tot)/P  (== core::max_slack_period).
+  core::SlackOptimum max_slack_period(double o_tot,
+                                      const core::SearchOptions& opts = {}) const;
+
+  // --- schedule-side kernels (Eq. 12-14, sensitivity) ---------------------
+
+  /// == core::verify_schedule against the cached contexts.
+  bool verify(const core::ModeSchedule& schedule,
+              bool use_exact_supply = false) const;
+
+  /// Largest lambda keeping every partition schedulable when the WCETs of
+  /// tasks named `task_name` (every task when empty) scale by lambda. The
+  /// probe scales the cached demand curves in place -- no ModeTaskSystem
+  /// copy, no point re-derivation -- so one bisection step is a pass over
+  /// cached points.
+  double wcet_scale_margin(const core::ModeSchedule& schedule,
+                           const std::string& task_name,
+                           double lambda_max = 16.0,
+                           double tolerance = 1e-4) const;
+
+  /// Margins for every task (system iteration order), computed under
+  /// par::parallel_for with the lambda=1 feasibility check hoisted out of
+  /// the per-task loop.
+  std::vector<core::TaskMargin> sensitivity_report(
+      const core::ModeSchedule& schedule, double lambda_max = 16.0) const;
+
+  /// Margin when every task scales together (task_name = "").
+  double global_scale_margin(const core::ModeSchedule& schedule,
+                             double lambda_max = 16.0,
+                             double tolerance = 1e-4) const;
+
+ private:
+  struct Partition {
+    rt::Mode mode{};
+    std::unique_ptr<rt::AnalysisContext> ctx;
+  };
+
+  /// Per-partition demand deltas of one scaling probe; see the .cpp.
+  struct ScaledProbe;
+
+  core::SearchOptions resolve(core::SearchOptions opts) const;
+  double margin_impl(const core::ModeSchedule& schedule,
+                     const std::string& task_name, double lambda_max,
+                     double tolerance, bool base_feasible) const;
+
+  hier::Scheduler alg_;
+  double auto_p_max_ = 0.0;
+  bool mode_used_[3] = {false, false, false};
+  std::vector<Partition> parts_;
+  std::vector<core::TaskMargin> task_rows_;  ///< name/mode/wcet prototypes
+};
+
+}  // namespace flexrt::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "core/analysis_engine.hpp"
 
 namespace flexrt::core {
 
@@ -17,25 +18,28 @@ Design solve_design(const ModeTaskSystem& sys, hier::Scheduler alg,
   FLEXRT_REQUIRE(overheads.ft >= 0.0 && overheads.fs >= 0.0 &&
                      overheads.nf >= 0.0,
                  "overheads must be >= 0");
+  // One engine serves the period search and the three quantum queries:
+  // the per-partition caches built during the search are reused verbatim.
+  const analysis::BatchEngine engine(sys, alg);
   double period = 0.0;
   switch (goal) {
     case DesignGoal::MinOverheadBandwidth:
-      period = max_feasible_period(sys, alg, overheads.total(), opts);
+      period = engine.max_feasible_period(overheads.total(), opts);
       break;
     case DesignGoal::MaxSlackBandwidth:
-      period = max_slack_period(sys, alg, overheads.total(), opts).period;
+      period = engine.max_slack_period(overheads.total(), opts).period;
       break;
   }
 
   Design d;
   d.scheduler = alg;
   d.goal = goal;
-  d.min_quantum_ft = mode_min_quantum(sys, rt::Mode::FT, alg, period,
-                                      opts.use_exact_supply);
-  d.min_quantum_fs = mode_min_quantum(sys, rt::Mode::FS, alg, period,
-                                      opts.use_exact_supply);
-  d.min_quantum_nf = mode_min_quantum(sys, rt::Mode::NF, alg, period,
-                                      opts.use_exact_supply);
+  d.min_quantum_ft =
+      engine.mode_min_quantum(rt::Mode::FT, period, opts.use_exact_supply);
+  d.min_quantum_fs =
+      engine.mode_min_quantum(rt::Mode::FS, period, opts.use_exact_supply);
+  d.min_quantum_nf =
+      engine.mode_min_quantum(rt::Mode::NF, period, opts.use_exact_supply);
   d.schedule.period = period;
   d.schedule.ft = {d.min_quantum_ft, overheads.ft};
   d.schedule.fs = {d.min_quantum_fs, overheads.fs};

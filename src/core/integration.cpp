@@ -1,36 +1,17 @@
 #include "core/integration.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
-#include "common/error.hpp"
-#include "rt/priority.hpp"
+#include "core/analysis_engine.hpp"
 
 namespace flexrt::core {
-namespace {
 
-double partition_min_quantum(const rt::TaskSet& ts, hier::Scheduler alg,
-                             double period, bool exact) {
-  if (ts.empty()) return 0.0;
-  // FP analyses need the set in priority order; deadline-monotonic is the
-  // paper's "RM" for implicit deadlines and optimal for constrained ones.
-  const rt::TaskSet ordered = alg == hier::Scheduler::FP
-                                  ? rt::sort_deadline_monotonic(ts)
-                                  : ts;
-  return exact ? hier::min_quantum_exact(ordered, alg, period)
-               : hier::min_quantum(ordered, alg, period);
-}
-
-SearchOptions resolve(const ModeTaskSystem& sys, SearchOptions opts) {
-  if (opts.p_max <= 0.0) opts.p_max = auto_period_bound(sys);
-  FLEXRT_REQUIRE(opts.p_min > 0.0 && opts.p_min < opts.p_max,
-                 "invalid period search range");
-  FLEXRT_REQUIRE(opts.grid_step > 0.0, "grid step must be > 0");
-  return opts;
-}
-
-}  // namespace
+// The period-side kernels are one-shot fronts over the batched analysis
+// engine (analysis::BatchEngine): each call snapshots the system into
+// per-partition AnalysisContexts, so a whole sweep (grid scan + refinement)
+// derives scheduling points / deadline sets / demand curves exactly once
+// and the grid samples run under par::parallel_for. Callers issuing many
+// queries against one system should hold a BatchEngine themselves.
 
 double auto_period_bound(const ModeTaskSystem& sys) {
   double max_deadline = 1.0;
@@ -47,136 +28,36 @@ double auto_period_bound(const ModeTaskSystem& sys) {
 double mode_min_quantum(const ModeTaskSystem& sys, rt::Mode mode,
                         hier::Scheduler alg, double period,
                         bool use_exact_supply) {
-  double worst = 0.0;
-  for (const rt::TaskSet& ts : sys.partitions(mode)) {
-    worst = std::max(
-        worst, partition_min_quantum(ts, alg, period, use_exact_supply));
-  }
-  return worst;
+  return analysis::BatchEngine(sys, alg)
+      .mode_min_quantum(mode, period, use_exact_supply);
 }
 
 double feasibility_margin(const ModeTaskSystem& sys, hier::Scheduler alg,
                           double period, bool use_exact_supply) {
-  double sum = 0.0;
-  for (const rt::Mode mode : kAllModes) {
-    sum += mode_min_quantum(sys, mode, alg, period, use_exact_supply);
-  }
-  return period - sum;
+  return analysis::BatchEngine(sys, alg)
+      .feasibility_margin(period, use_exact_supply);
 }
 
 std::vector<RegionSample> sample_region(const ModeTaskSystem& sys,
                                         hier::Scheduler alg,
-                                        const SearchOptions& opts_in) {
-  const SearchOptions opts = resolve(sys, opts_in);
-  std::vector<RegionSample> out;
-  const auto n = static_cast<std::size_t>(
-      std::ceil((opts.p_max - opts.p_min) / opts.grid_step));
-  out.reserve(n + 1);
-  for (std::size_t i = 0; i <= n; ++i) {
-    const double p =
-        std::min(opts.p_max, opts.p_min + static_cast<double>(i) * opts.grid_step);
-    out.push_back(
-        {p, feasibility_margin(sys, alg, p, opts.use_exact_supply)});
-  }
-  return out;
+                                        const SearchOptions& opts) {
+  return analysis::BatchEngine(sys, alg).sample_region(opts);
 }
 
 double max_feasible_period(const ModeTaskSystem& sys, hier::Scheduler alg,
-                           double o_tot, const SearchOptions& opts_in) {
-  const SearchOptions opts = resolve(sys, opts_in);
-  const auto margin = [&](double p) {
-    return feasibility_margin(sys, alg, p, opts.use_exact_supply);
-  };
-  // Scan downward: the first feasible grid point bounds the answer from
-  // below; the previous (infeasible) point bounds it from above.
-  double feasible = -1.0;
-  double infeasible_above = opts.p_max;
-  for (double p = opts.p_max; p >= opts.p_min; p -= opts.grid_step) {
-    if (margin(p) >= o_tot) {
-      feasible = p;
-      break;
-    }
-    infeasible_above = p;
-  }
-  if (feasible < 0.0) {
-    throw InfeasibleError(
-        "no feasible period found in the search range (O_tot too large?)");
-  }
-  double lo = feasible;
-  double hi = infeasible_above;
-  while (hi - lo > opts.tolerance) {
-    const double mid = 0.5 * (lo + hi);
-    if (margin(mid) >= o_tot) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+                           double o_tot, const SearchOptions& opts) {
+  return analysis::BatchEngine(sys, alg).max_feasible_period(o_tot, opts);
 }
 
 OverheadLimit max_admissible_overhead(const ModeTaskSystem& sys,
                                       hier::Scheduler alg,
-                                      const SearchOptions& opts_in) {
-  const SearchOptions opts = resolve(sys, opts_in);
-  const auto margin = [&](double p) {
-    return feasibility_margin(sys, alg, p, opts.use_exact_supply);
-  };
-  // Coarse scan for the best grid point, then a fine local scan around it.
-  double best_p = opts.p_min;
-  double best_m = margin(best_p);
-  for (double p = opts.p_min; p <= opts.p_max; p += opts.grid_step) {
-    const double m = margin(p);
-    if (m > best_m) {
-      best_m = m;
-      best_p = p;
-    }
-  }
-  const double lo = std::max(opts.p_min, best_p - 2.0 * opts.grid_step);
-  const double hi = std::min(opts.p_max, best_p + 2.0 * opts.grid_step);
-  const double fine = std::max(opts.tolerance, opts.grid_step * 1e-3);
-  for (double p = lo; p <= hi; p += fine) {
-    const double m = margin(p);
-    if (m > best_m) {
-      best_m = m;
-      best_p = p;
-    }
-  }
-  return {best_p, best_m};
+                                      const SearchOptions& opts) {
+  return analysis::BatchEngine(sys, alg).max_admissible_overhead(opts);
 }
 
 SlackOptimum max_slack_period(const ModeTaskSystem& sys, hier::Scheduler alg,
-                              double o_tot, const SearchOptions& opts_in) {
-  const SearchOptions opts = resolve(sys, opts_in);
-  const auto slack_bw = [&](double p) {
-    return (feasibility_margin(sys, alg, p, opts.use_exact_supply) - o_tot) /
-           p;
-  };
-  double best_p = -1.0;
-  double best = -std::numeric_limits<double>::infinity();
-  for (double p = opts.p_min; p <= opts.p_max; p += opts.grid_step) {
-    const double s = slack_bw(p);
-    if (s > best) {
-      best = s;
-      best_p = p;
-    }
-  }
-  if (best < 0.0) {
-    throw InfeasibleError(
-        "no feasible period in the search range: slack is negative "
-        "everywhere");
-  }
-  const double lo = std::max(opts.p_min, best_p - 2.0 * opts.grid_step);
-  const double hi = std::min(opts.p_max, best_p + 2.0 * opts.grid_step);
-  const double fine = std::max(opts.tolerance, opts.grid_step * 1e-3);
-  for (double p = lo; p <= hi; p += fine) {
-    const double s = slack_bw(p);
-    if (s > best) {
-      best = s;
-      best_p = p;
-    }
-  }
-  return {best_p, best * best_p, best};
+                              double o_tot, const SearchOptions& opts) {
+  return analysis::BatchEngine(sys, alg).max_slack_period(o_tot, opts);
 }
 
 }  // namespace flexrt::core

@@ -1,100 +1,40 @@
 #include "core/sensitivity.hpp"
 
-#include <cmath>
-
 #include "common/error.hpp"
+#include "core/analysis_engine.hpp"
 
 namespace flexrt::core {
-namespace {
 
-/// Copy of `sys` with every task whose name matches scaled by lambda
-/// (empty name = every task). Callers guarantee the scale keeps C <= D
-/// (feasible_at pre-checks), so the scaled tasks stay valid.
-ModeTaskSystem scaled(const ModeTaskSystem& sys, const std::string& name,
-                      double lambda) {
-  ModeTaskSystem out = sys;
-  for (const rt::Mode mode : kAllModes) {
-    std::vector<rt::TaskSet> parts;
-    for (const rt::TaskSet& ts : sys.partitions(mode)) {
-      rt::TaskSet scaled_ts;
-      for (rt::Task t : ts) {
-        if (name.empty() || t.name == name) t.wcet *= lambda;
-        scaled_ts.add(std::move(t));
-      }
-      parts.push_back(std::move(scaled_ts));
-    }
-    out.set_partitions(mode, std::move(parts));
-  }
-  return out;
-}
-
-bool feasible_at(const ModeTaskSystem& sys, const ModeSchedule& schedule,
-                 hier::Scheduler alg, const std::string& name,
-                 double lambda) {
-  // A scale that pushes any matching task past its deadline is infeasible
-  // by definition (C > D).
-  for (const rt::Mode mode : kAllModes) {
-    for (const rt::TaskSet& ts : sys.partitions(mode)) {
-      for (const rt::Task& t : ts) {
-        if ((name.empty() || t.name == name) &&
-            t.wcet * lambda > t.deadline * (1.0 + 1e-12)) {
-          return false;
-        }
-      }
-    }
-  }
-  return verify_schedule(scaled(sys, name, lambda), schedule, alg);
-}
-
-double bisect_margin(const ModeTaskSystem& sys, const ModeSchedule& schedule,
-                     hier::Scheduler alg, const std::string& name,
-                     double lambda_max, double tolerance) {
-  FLEXRT_REQUIRE(lambda_max >= 1.0, "lambda_max must be >= 1");
-  if (!feasible_at(sys, schedule, alg, name, 1.0)) return 1.0;
-  if (feasible_at(sys, schedule, alg, name, lambda_max)) return lambda_max;
-  double lo = 1.0, hi = lambda_max;
-  while (hi - lo > tolerance) {
-    const double mid = 0.5 * (lo + hi);
-    if (feasible_at(sys, schedule, alg, name, mid)) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-}  // namespace
+// All three entry points delegate to the batched analysis engine: a probe
+// at scale lambda tests  base_demand + (lambda - 1) * task_contribution
+// against the supply over cached points, so no ModeTaskSystem is ever
+// copied and no scheduling point or deadline set is re-derived during the
+// bisection. sensitivity_report additionally hoists the lambda = 1
+// feasibility check out of the per-task loop and runs the per-task margins
+// under par::parallel_for.
 
 double wcet_scale_margin(const ModeTaskSystem& sys,
                          const ModeSchedule& schedule, hier::Scheduler alg,
                          const std::string& task_name, double lambda_max,
                          double tolerance) {
   FLEXRT_REQUIRE(!task_name.empty(), "task name must be non-empty");
-  return bisect_margin(sys, schedule, alg, task_name, lambda_max, tolerance);
+  return analysis::BatchEngine(sys, alg)
+      .wcet_scale_margin(schedule, task_name, lambda_max, tolerance);
 }
 
 std::vector<TaskMargin> sensitivity_report(const ModeTaskSystem& sys,
                                            const ModeSchedule& schedule,
                                            hier::Scheduler alg,
                                            double lambda_max) {
-  std::vector<TaskMargin> out;
-  for (const rt::Mode mode : kAllModes) {
-    for (const rt::TaskSet& ts : sys.partitions(mode)) {
-      for (const rt::Task& t : ts) {
-        out.push_back({t.name, mode, t.wcet,
-                       wcet_scale_margin(sys, schedule, alg, t.name,
-                                         lambda_max)});
-      }
-    }
-  }
-  return out;
+  return analysis::BatchEngine(sys, alg)
+      .sensitivity_report(schedule, lambda_max);
 }
 
 double global_scale_margin(const ModeTaskSystem& sys,
                            const ModeSchedule& schedule, hier::Scheduler alg,
                            double lambda_max, double tolerance) {
-  return bisect_margin(sys, schedule, alg, "", lambda_max, tolerance);
+  return analysis::BatchEngine(sys, alg)
+      .global_scale_margin(schedule, lambda_max, tolerance);
 }
 
 }  // namespace flexrt::core

@@ -17,63 +17,76 @@ double quantum_for_point(double t, double workload, double period) noexcept {
 
 namespace {
 
-double min_quantum_fp(const rt::TaskSet& ts, double period) {
+double min_quantum_fp(const rt::AnalysisContext& ctx, double period) {
   double worst = 0.0;
-  for (std::size_t i = 0; i < ts.size(); ++i) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const std::vector<double>& points = ctx.scheduling_points(i);
+    const std::vector<double>& workloads = ctx.fp_point_workloads(i);
     double best = std::numeric_limits<double>::infinity();
-    for (const double t : rt::scheduling_points(ts, i)) {
-      best = std::min(best,
-                      quantum_for_point(t, rt::fp_workload(ts, i, t), period));
+    for (std::size_t k = 0; k < points.size(); ++k) {
+      best = std::min(best, quantum_for_point(points[k], workloads[k], period));
     }
     worst = std::max(worst, best);
   }
   return worst;
 }
 
-double min_quantum_edf(const rt::TaskSet& ts, double period) {
+double min_quantum_edf(const rt::AnalysisContext& ctx, double period) {
+  const std::vector<double>& points = ctx.deadline_points();
+  const std::vector<double>& demand = ctx.edf_demand_at_points();
   double worst = 0.0;
-  for (const double t : rt::deadline_set(ts)) {
-    worst = std::max(worst,
-                     quantum_for_point(t, rt::edf_demand(ts, t), period));
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    worst = std::max(worst, quantum_for_point(points[k], demand[k], period));
   }
   return worst;
 }
 
 }  // namespace
 
-double min_quantum(const rt::TaskSet& ts, Scheduler alg, double period) {
+double min_quantum(const rt::AnalysisContext& ctx, Scheduler alg,
+                   double period) {
   FLEXRT_REQUIRE(period > 0.0, "period must be > 0");
-  if (ts.empty()) return 0.0;
-  return alg == Scheduler::FP ? min_quantum_fp(ts, period)
-                              : min_quantum_edf(ts, period);
+  if (ctx.empty()) return 0.0;
+  return alg == Scheduler::FP ? min_quantum_fp(ctx, period)
+                              : min_quantum_edf(ctx, period);
 }
 
-double min_quantum_exact(const rt::TaskSet& ts, Scheduler alg, double period,
-                         double tolerance) {
+double min_quantum(const rt::TaskSet& ts, Scheduler alg, double period) {
+  return min_quantum(rt::AnalysisContext(ts), alg, period);
+}
+
+double min_quantum_exact(const rt::AnalysisContext& ctx, Scheduler alg,
+                         double period, double tolerance) {
   FLEXRT_REQUIRE(period > 0.0, "period must be > 0");
-  if (ts.empty()) return 0.0;
+  if (ctx.empty()) return 0.0;
   // Feasibility is monotone in the usable quantum: a larger quantum yields a
   // pointwise larger SlotSupply, so bisection applies. The linear-bound
-  // answer is an upper bound for the exact one.
-  double hi = std::min(period, min_quantum(ts, alg, period));
-  if (!schedulable(ts, alg, SlotSupply(period, hi))) {
+  // answer is an upper bound for the exact one. Every probe reuses the
+  // cached test points; only the slot supply is evaluated fresh.
+  double hi = std::min(period, min_quantum(ctx, alg, period));
+  if (!schedulable(ctx, alg, SlotSupply(period, hi))) {
     // Linear answer exceeded the period: the exact test may still pass with
     // q <= P, or fail outright.
     hi = period;
-    if (!schedulable(ts, alg, SlotSupply(period, hi))) {
+    if (!schedulable(ctx, alg, SlotSupply(period, hi))) {
       return std::numeric_limits<double>::infinity();
     }
   }
   double lo = 0.0;
   while (hi - lo > tolerance) {
     const double mid = 0.5 * (lo + hi);
-    if (schedulable(ts, alg, SlotSupply(period, mid))) {
+    if (schedulable(ctx, alg, SlotSupply(period, mid))) {
       hi = mid;
     } else {
       lo = mid;
     }
   }
   return hi;
+}
+
+double min_quantum_exact(const rt::TaskSet& ts, Scheduler alg, double period,
+                         double tolerance) {
+  return min_quantum_exact(rt::AnalysisContext(ts), alg, period, tolerance);
 }
 
 }  // namespace flexrt::hier

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "hier/sched_test.hpp"
+#include "rt/analysis_context.hpp"
 #include "rt/task_set.hpp"
 
 namespace flexrt::hier {
@@ -19,6 +20,14 @@ namespace flexrt::hier {
 /// means no feasible quantum exists at this period.
 double min_quantum(const rt::TaskSet& ts, Scheduler alg, double period);
 
+/// Cached variant: the scheduling points / deadline set and the workloads
+/// at them come from the context, so evaluating minQ at another period is
+/// O(points) with no re-derivation. Design-space sweeps (lhs(P) curves,
+/// period searches) build one context per partition and probe it at every
+/// period.
+double min_quantum(const rt::AnalysisContext& ctx, Scheduler alg,
+                   double period);
+
 /// Solution of Q^2 + (t-P) Q - W P = 0: the minimum quantum making the
 /// linear supply cover demand W at time t. Exposed for tests.
 double quantum_for_point(double t, double workload, double period) noexcept;
@@ -29,5 +38,10 @@ double quantum_for_point(double t, double workload, double period) noexcept;
 /// linear approximation (studied in experiment E4).
 double min_quantum_exact(const rt::TaskSet& ts, Scheduler alg, double period,
                          double tolerance = 1e-9);
+
+/// Cached variant of min_quantum_exact: each bisection probe on Q~ only
+/// evaluates the exact slot supply at the cached test points.
+double min_quantum_exact(const rt::AnalysisContext& ctx, Scheduler alg,
+                         double period, double tolerance = 1e-9);
 
 }  // namespace flexrt::hier

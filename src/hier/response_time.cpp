@@ -11,43 +11,31 @@ namespace flexrt::hier {
 double supply_inverse(const SupplyFunction& supply, double demand,
                       double tolerance) {
   FLEXRT_REQUIRE(tolerance > 0.0, "tolerance must be > 0");
-  if (demand <= 0.0) return 0.0;
-  // Exponential search for an upper bracket: Z(delay + demand/alpha) covers
-  // the demand under the linear bound, but exotic shapes get the doubling
-  // loop as a fallback.
-  double hi = supply.delay() + demand / supply.rate();
-  int guard = 0;
-  while (supply.value(hi) < demand) {
-    hi *= 2.0;
-    FLEXRT_REQUIRE(++guard < 128, "supply cannot cover the demand");
-  }
-  double lo = 0.0;
-  while (hi - lo > tolerance) {
-    const double mid = 0.5 * (lo + hi);
-    if (supply.value(mid) >= demand) {
-      hi = mid;
-    } else {
-      lo = mid;
-    }
-  }
-  return hi;
+  return supply.inverse(demand, tolerance);
 }
 
 std::optional<double> fp_response_time(const rt::TaskSet& ts, std::size_t i,
                                        const SupplyFunction& supply) {
   FLEXRT_REQUIRE(i < ts.size(), "task index out of range");
   const double deadline = ts[i].deadline;
-  double r = supply_inverse(supply, ts[i].wcet);
+  double r = supply.inverse(ts[i].wcet);
   // Monotone fixed-point iteration: W_i is a step function of R, so each
   // iterate only grows; convergence is reached when the workload stops
-  // changing, divergence when R crosses the deadline.
+  // changing, divergence when R crosses the deadline. Each iterate costs
+  // one closed-form inverse plus the O(i) workload sum.
   for (int guard = 0; guard < 10000; ++guard) {
     if (r > deadline * (1.0 + 1e-9)) return std::nullopt;
-    const double next = supply_inverse(supply, rt::fp_workload(ts, i, r));
+    const double next = supply.inverse(rt::fp_workload(ts, i, r));
     if (almost_equal(next, r, 1e-9, 1e-9)) return next;
     r = next;
   }
   return std::nullopt;  // pathological oscillation guard
+}
+
+std::optional<double> fp_response_time(const rt::AnalysisContext& ctx,
+                                       std::size_t i,
+                                       const SupplyFunction& supply) {
+  return fp_response_time(ctx.tasks(), i, supply);
 }
 
 std::vector<std::optional<double>> fp_response_times(

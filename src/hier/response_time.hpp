@@ -3,13 +3,16 @@
 #include <optional>
 
 #include "hier/supply.hpp"
+#include "rt/analysis_context.hpp"
 #include "rt/task_set.hpp"
 
 namespace flexrt::hier {
 
 /// Pseudo-inverse of a supply function: the smallest window length t such
-/// that Z(t) >= demand (to within `tolerance`). Works for any monotone
-/// supply shape via exponential search + bisection. demand <= 0 yields 0.
+/// that Z(t) >= demand. Delegates to SupplyFunction::inverse(), which is an
+/// exact closed form for every shape shipped with the library; `tolerance`
+/// only applies to shapes that fall back to the generic bisection (see
+/// SupplyFunction::inverse_by_bisection). demand <= 0 yields 0.
 double supply_inverse(const SupplyFunction& supply, double demand,
                       double tolerance = 1e-9);
 
@@ -28,6 +31,15 @@ double supply_inverse(const SupplyFunction& supply, double demand,
 /// counterpart (Spuri's analysis under a supply function) is out of scope;
 /// use edf_schedulable() for EDF feasibility.
 std::optional<double> fp_response_time(const rt::TaskSet& ts, std::size_t i,
+                                       const SupplyFunction& supply);
+
+/// AnalysisContext overload for API uniformity with the other kernels:
+/// identical result and identical work (the RTA iterates at arbitrary R
+/// values, so the cached test points don't apply -- its speedup over the
+/// seed comes from the closed-form inverse). Lets context-holding callers
+/// avoid carrying the TaskSet separately.
+std::optional<double> fp_response_time(const rt::AnalysisContext& ctx,
+                                       std::size_t i,
                                        const SupplyFunction& supply);
 
 /// Response times of every task of the partition (nullopt entries for

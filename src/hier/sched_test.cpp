@@ -39,4 +39,39 @@ bool schedulable(const rt::TaskSet& ts, Scheduler alg,
                               : edf_schedulable(ts, supply);
 }
 
+bool fp_schedulable(const rt::AnalysisContext& ctx,
+                    const SupplyFunction& supply) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const std::vector<double>& points = ctx.scheduling_points(i);
+    const std::vector<double>& workloads = ctx.fp_point_workloads(i);
+    bool ok = false;
+    for (std::size_t k = 0; k < points.size(); ++k) {
+      if (leq_tol(workloads[k], supply.value(points[k]))) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool edf_schedulable(const rt::AnalysisContext& ctx,
+                     const SupplyFunction& supply) {
+  if (ctx.empty()) return true;
+  if (ctx.utilization() > supply.rate() + 1e-12) return false;
+  const std::vector<double>& points = ctx.deadline_points();
+  const std::vector<double>& demand = ctx.edf_demand_at_points();
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    if (!leq_tol(demand[k], supply.value(points[k]))) return false;
+  }
+  return true;
+}
+
+bool schedulable(const rt::AnalysisContext& ctx, Scheduler alg,
+                 const SupplyFunction& supply) {
+  return alg == Scheduler::FP ? fp_schedulable(ctx, supply)
+                              : edf_schedulable(ctx, supply);
+}
+
 }  // namespace flexrt::hier

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "hier/supply.hpp"
+#include "rt/analysis_context.hpp"
 #include "rt/task_set.hpp"
 
 namespace flexrt::hier {
@@ -27,6 +28,18 @@ bool edf_schedulable(const rt::TaskSet& ts, const SupplyFunction& supply);
 /// Dispatch on the scheduler enum. For FP the set must already be in
 /// priority order (use rt::sort_rate_monotonic / sort_deadline_monotonic).
 bool schedulable(const rt::TaskSet& ts, Scheduler alg,
+                 const SupplyFunction& supply);
+
+/// Cached variants: the test points and the demand/workload at them come
+/// from the AnalysisContext, so one probe only evaluates the supply at the
+/// cached points. This is what makes bisection loops over the supply
+/// (min_quantum_exact, sensitivity margins) cheap -- the task-set side of
+/// the inequality never moves between probes.
+bool fp_schedulable(const rt::AnalysisContext& ctx,
+                    const SupplyFunction& supply);
+bool edf_schedulable(const rt::AnalysisContext& ctx,
+                     const SupplyFunction& supply);
+bool schedulable(const rt::AnalysisContext& ctx, Scheduler alg,
                  const SupplyFunction& supply);
 
 }  // namespace flexrt::hier

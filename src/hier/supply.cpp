@@ -8,6 +8,41 @@
 
 namespace flexrt::hier {
 
+double SupplyFunction::inverse(double demand, double tolerance) const {
+  return inverse_by_bisection(demand, tolerance);
+}
+
+double SupplyFunction::inverse_by_bisection(double demand,
+                                            double tolerance) const {
+  FLEXRT_REQUIRE(tolerance > 0.0, "tolerance must be > 0");
+  if (demand <= 0.0) return 0.0;
+  // Z(t) = 0 up to the delay, so the search bracket starts there; the
+  // linear bound guarantees Z(delay + demand/rate) >= demand for our
+  // shapes, and exotic shapes get the doubling loop. `lo` tracks the last
+  // insufficient probe so bisection never re-scans an excluded prefix, and
+  // the doubling grows the gap beyond the delay (not the absolute time) so
+  // large-delay supplies don't blow the bracket up to ~2*delay wide.
+  double lo = delay();
+  double gap = demand / rate();
+  double hi = lo + gap;
+  int guard = 0;
+  while (value(hi) < demand) {
+    lo = hi;
+    gap *= 2.0;
+    hi = lo + gap;
+    FLEXRT_REQUIRE(++guard < 128, "supply cannot cover the demand");
+  }
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (value(mid) >= demand) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
 LinearSupply::LinearSupply(double alpha, double delta)
     : alpha_(alpha), delta_(delta) {
   FLEXRT_REQUIRE(alpha > 0.0 && alpha <= 1.0 + 1e-12,
@@ -17,6 +52,11 @@ LinearSupply::LinearSupply(double alpha, double delta)
 
 double LinearSupply::value(double t) const noexcept {
   return std::max(0.0, alpha_ * (t - delta_));
+}
+
+double LinearSupply::inverse(double demand, double /*tolerance*/) const {
+  if (demand <= 0.0) return 0.0;
+  return delta_ + demand / alpha_;
 }
 
 SlotSupply::SlotSupply(double period, double usable)
@@ -36,6 +76,19 @@ double SlotSupply::value(double t) const noexcept {
   return std::max(flat, ramp);
 }
 
+double SlotSupply::inverse(double demand, double /*tolerance*/) const {
+  if (demand <= 0.0) return 0.0;
+  FLEXRT_REQUIRE(usable_ > 0.0, "supply cannot cover the demand");
+  // Z first reaches `demand` on the slope-1 ramp of period j, where j is
+  // the number of *whole* slots strictly below the demand. ceil_ratio snaps
+  // demands within tolerance of a slot multiple onto the ramp end, matching
+  // value()'s floor_ratio snapping.
+  const auto j =
+      static_cast<double>(std::max<std::int64_t>(
+          ceil_ratio(demand, usable_) - 1, 0));
+  return demand + (j + 1.0) * (period_ - usable_);
+}
+
 LinearSupply SlotSupply::linear_bound() const noexcept {
   return LinearSupply(usable_ / period_, period_ - usable_);
 }
@@ -53,6 +106,17 @@ double PeriodicResource::value(double t) const noexcept {
   const double k = static_cast<double>(floor_ratio(shifted, period_));
   const double within = shifted - k * period_;
   return k * budget_ + std::max(0.0, within - (period_ - budget_));
+}
+
+double PeriodicResource::inverse(double demand, double /*tolerance*/) const {
+  if (demand <= 0.0) return 0.0;
+  // sbf reaches `demand` on the ramp of cycle k = ceil(demand/Theta) - 1:
+  // demand plus the initial blackout 2(Pi - Theta) plus one (Pi - Theta)
+  // gap per completed cycle.
+  const auto k =
+      static_cast<double>(std::max<std::int64_t>(
+          ceil_ratio(demand, budget_) - 1, 0));
+  return demand + (k + 2.0) * (period_ - budget_);
 }
 
 }  // namespace flexrt::hier

@@ -20,6 +20,24 @@ class SupplyFunction {
 
   /// Service delay Delta: the largest t with Z(t) = 0 (for our shapes).
   virtual double delay() const noexcept = 0;
+
+  /// Pseudo-inverse: the smallest t with Z(t) >= demand (0 for demand <= 0).
+  /// Every shape shipped with the library overrides this with an exact
+  /// closed form (tolerance unused); the base implementation is the
+  /// documented bisection fallback for exotic shapes, refined to
+  /// `tolerance`. This is the kernel inside every RTA fixed-point iterate,
+  /// so exactness of the closed forms is property-tested against the
+  /// fallback.
+  virtual double inverse(double demand, double tolerance = 1e-9) const;
+
+  /// Generic pseudo-inverse by exponential bracketing + bisection. The
+  /// bracket starts at [delay(), delay() + demand/rate()] -- Z is 0 up to
+  /// the delay, so scanning [0, delay) would be wasted work -- and the low
+  /// edge follows the doubling so the bisection never re-scans a range the
+  /// search already excluded. Throws ModelError when the supply can never
+  /// cover the demand. Exposed for tests and as the fallback for shapes
+  /// with no closed form.
+  double inverse_by_bisection(double demand, double tolerance = 1e-9) const;
 };
 
 /// Linear lower bound Z'(t) = max(0, alpha * (t - delta)) (paper Eq. 3).
@@ -32,6 +50,9 @@ class LinearSupply final : public SupplyFunction {
   double value(double t) const noexcept override;
   double rate() const noexcept override { return alpha_; }
   double delay() const noexcept override { return delta_; }
+
+  /// Exact: t = delta + demand/alpha (tolerance unused).
+  double inverse(double demand, double tolerance = 1e-9) const override;
 
  private:
   double alpha_;
@@ -51,6 +72,11 @@ class SlotSupply final : public SupplyFunction {
   double value(double t) const noexcept override;
   double rate() const noexcept override { return usable_ / period_; }
   double delay() const noexcept override { return period_ - usable_; }
+
+  /// Exact (tolerance unused): demand lands on the ramp of period
+  /// j = ceil(demand/q) - 1, so t = demand + (j+1)(p - q). Throws
+  /// ModelError when q = 0 and demand > 0.
+  double inverse(double demand, double tolerance = 1e-9) const override;
 
   double period() const noexcept { return period_; }
   double usable() const noexcept { return usable_; }
@@ -78,6 +104,10 @@ class PeriodicResource final : public SupplyFunction {
   double rate() const noexcept override { return budget_ / period_; }
   /// Largest t with sbf(t)=0 is 2*(Pi - Theta).
   double delay() const noexcept override { return 2.0 * (period_ - budget_); }
+
+  /// Exact (tolerance unused): demand lands on the ramp of cycle
+  /// k = ceil(demand/Theta) - 1, so t = demand + (k + 2)(Pi - Theta).
+  double inverse(double demand, double tolerance = 1e-9) const override;
 
  private:
   double period_;

@@ -1,0 +1,149 @@
+#include "rt/analysis_context.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "rt/demand.hpp"
+#include "rt/sched_points.hpp"
+
+namespace flexrt::rt {
+namespace {
+
+// floor_ratio snaps ratios within tol * max(1, |r|) of an integer. At the
+// k-th deadline event d = D_i + k*T_i the counting ratio is r = k + 1, so
+// edf_demand counts the job as soon as t >= d - tol * (k+1) * T_i. The
+// sweep mirrors that *relative* window by shifting each event left by it.
+constexpr double kSnapTol = 1e-9;
+
+struct DemandEvent {
+  double when = 0.0;    // event time minus the snap window
+  double weight = 0.0;  // C_i added to the demand from this time on
+};
+
+std::vector<DemandEvent> demand_events(const TaskSet& ts, double last) {
+  std::vector<DemandEvent> events;
+  for (const Task& task : ts) {
+    // d = D_i + k*T_i computed by multiplication (not accumulation) so the
+    // event grid carries no compounding rounding error.
+    for (std::int64_t k = 0;; ++k) {
+      const double d = task.deadline + static_cast<double>(k) * task.period;
+      const double snap = kSnapTol * static_cast<double>(k + 1) * task.period;
+      if (d - snap > last) break;
+      events.push_back({d - snap, task.wcet});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const DemandEvent& a, const DemandEvent& b) {
+              return a.when < b.when;
+            });
+  return events;
+}
+
+}  // namespace
+
+std::vector<double> edf_demand_curve(const TaskSet& ts,
+                                     std::span<const double> points) {
+  std::vector<double> out(points.size(), 0.0);
+  if (ts.empty() || points.empty()) return out;
+  FLEXRT_REQUIRE(std::is_sorted(points.begin(), points.end()),
+                 "query points must be sorted ascending");
+  const std::vector<DemandEvent> events = demand_events(ts, points.back());
+  double acc = 0.0;
+  std::size_t e = 0;
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    while (e < events.size() && events[e].when <= points[k]) {
+      acc += events[e].weight;
+      ++e;
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+AnalysisContext::AnalysisContext(TaskSet ts, double horizon)
+    : ts_(std::move(ts)), horizon_(horizon), utilization_(ts_.utilization()) {}
+
+void AnalysisContext::ensure_edf() const {
+  std::call_once(edf_once_, [this] {
+    dl_points_ = deadline_set(ts_, horizon_);
+    edf_demand_ = edf_demand_curve(ts_, dl_points_);
+  });
+}
+
+void AnalysisContext::ensure_fp() const {
+  std::call_once(fp_once_, [this] {
+    sched_points_.resize(ts_.size());
+    fp_workloads_.resize(ts_.size());
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      sched_points_[i] = rt::scheduling_points(ts_, i);
+      fp_workloads_[i].reserve(sched_points_[i].size());
+      for (const double t : sched_points_[i]) {
+        fp_workloads_[i].push_back(fp_workload(ts_, i, t));
+      }
+    }
+  });
+}
+
+const std::vector<double>& AnalysisContext::deadline_points() const {
+  ensure_edf();
+  return dl_points_;
+}
+
+const std::vector<double>& AnalysisContext::edf_demand_at_points() const {
+  ensure_edf();
+  return edf_demand_;
+}
+
+std::vector<double> AnalysisContext::edf_point_jobs(std::size_t i) const {
+  FLEXRT_REQUIRE(i < ts_.size(), "task index out of range");
+  ensure_edf();
+  const Task& task = ts_[i];
+  std::vector<double> row(dl_points_.size(), 0.0);
+  // Pointer walk over the task's own deadline events: O(points + jobs)
+  // instead of a floor_ratio division per point. Events carry the same
+  // relative snap window as demand_events() above.
+  std::int64_t jobs = 0;
+  double next =
+      task.deadline - kSnapTol * task.period;  // event 0, ratio 1
+  for (std::size_t k = 0; k < dl_points_.size(); ++k) {
+    while (next <= dl_points_[k]) {
+      ++jobs;
+      next = task.deadline + static_cast<double>(jobs) * task.period -
+             kSnapTol * static_cast<double>(jobs + 1) * task.period;
+    }
+    row[k] = static_cast<double>(jobs);
+  }
+  return row;
+}
+
+const std::vector<double>& AnalysisContext::scheduling_points(
+    std::size_t i) const {
+  FLEXRT_REQUIRE(i < ts_.size(), "task index out of range");
+  ensure_fp();
+  return sched_points_[i];
+}
+
+const std::vector<double>& AnalysisContext::fp_point_workloads(
+    std::size_t i) const {
+  FLEXRT_REQUIRE(i < ts_.size(), "task index out of range");
+  ensure_fp();
+  return fp_workloads_[i];
+}
+
+std::vector<double> AnalysisContext::fp_point_jobs(std::size_t i,
+                                                   std::size_t j) const {
+  FLEXRT_REQUIRE(i < ts_.size() && j < ts_.size(), "task index out of range");
+  ensure_fp();
+  const std::vector<double>& points = sched_points_[i];
+  std::vector<double> row(points.size(), 0.0);
+  if (j > i) return row;  // lower priority: no contribution to W_i
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    row[k] = j == i ? 1.0
+                    : static_cast<double>(ceil_ratio(points[k], ts_[j].period));
+  }
+  return row;
+}
+
+}  // namespace flexrt::rt

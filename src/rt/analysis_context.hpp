@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+
+/// Demand of every task at every query point in one event sweep:
+/// out[k] = edf_demand(ts, points[k]) for sorted (ascending) `points`, in
+/// O(events + n log n + points) instead of the O(n * points) of calling
+/// edf_demand per point. Event inclusion uses the same integer-snapping
+/// tolerance as floor_ratio, so the sweep agrees with the per-point kernel.
+std::vector<double> edf_demand_curve(const TaskSet& ts,
+                                     std::span<const double> points);
+
+/// Cached per-TaskSet analysis state: the quantities every schedulability
+/// probe re-derives -- Bini-Buttazzo scheduling points and the FP workloads
+/// at them, the EDF deadline set dlSet and the demand curve over it -- are
+/// computed once and shared by all subsequent queries.
+///
+/// This is the rt-layer piece of the batched analysis engine: min_quantum,
+/// min_quantum_exact, fp/edf_schedulable and the sensitivity kernels all
+/// have overloads taking an AnalysisContext, turning an analysis probe
+/// (e.g. one bisection step on the quantum) into a pass over cached points
+/// with only the supply function evaluated fresh.
+///
+/// FP caches require the set sorted by decreasing priority (as everywhere
+/// else in the library); EDF caches require an exact hyperperiod unless an
+/// explicit `horizon` is given. Each side is materialized lazily on first
+/// use -- an FP-only caller never pays for (or requires) the hyperperiod.
+/// Thread-safe: concurrent readers may share one const context.
+class AnalysisContext {
+ public:
+  /// Takes ownership of a snapshot of the task set. `horizon` bounds the
+  /// EDF deadline set (<= 0 means the hyperperiod, as in deadline_set()).
+  explicit AnalysisContext(TaskSet ts, double horizon = 0.0);
+
+  const TaskSet& tasks() const noexcept { return ts_; }
+  std::size_t size() const noexcept { return ts_.size(); }
+  bool empty() const noexcept { return ts_.empty(); }
+  double utilization() const noexcept { return utilization_; }
+
+  // --- EDF side -----------------------------------------------------------
+
+  /// dlSet(T) up to the horizon (== rt::deadline_set).
+  const std::vector<double>& deadline_points() const;
+
+  /// EDF demand at each deadline point (== edf_demand at each point),
+  /// computed by the event sweep.
+  const std::vector<double>& edf_demand_at_points() const;
+
+  /// Job count of task i contributing to the demand at each deadline point:
+  /// row[k] = max(0, floor((t_k + T_i - D_i)/T_i)). The per-task demand
+  /// contribution at t_k is row[k] * C_i; sensitivity probes scale it in
+  /// place instead of rebuilding the task set.
+  std::vector<double> edf_point_jobs(std::size_t i) const;
+
+  // --- FP side ------------------------------------------------------------
+
+  /// Bini-Buttazzo scheduling points of task i (== rt::scheduling_points).
+  const std::vector<double>& scheduling_points(std::size_t i) const;
+
+  /// W_i evaluated at each scheduling point of task i.
+  const std::vector<double>& fp_point_workloads(std::size_t i) const;
+
+  /// Number of jobs of task j charged to W_i at each scheduling point of
+  /// task i: ceil(t/T_j) for j < i, 1 for j == i, 0 for lower-priority j.
+  std::vector<double> fp_point_jobs(std::size_t i, std::size_t j) const;
+
+ private:
+  void ensure_edf() const;
+  void ensure_fp() const;
+
+  TaskSet ts_;
+  double horizon_;
+  double utilization_ = 0.0;
+
+  mutable std::once_flag edf_once_;
+  mutable std::vector<double> dl_points_;
+  mutable std::vector<double> edf_demand_;
+
+  mutable std::once_flag fp_once_;
+  mutable std::vector<std::vector<double>> sched_points_;
+  mutable std::vector<std::vector<double>> fp_workloads_;
+};
+
+}  // namespace flexrt::rt

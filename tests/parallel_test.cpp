@@ -1,0 +1,75 @@
+#include "common/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace flexrt::par {
+namespace {
+
+TEST(ParallelFor, ThreadCountIsAtLeastOne) {
+  EXPECT_GE(thread_count(), 1u);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t n : {0u, 1u, 2u, 7u, 100u, 10000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(ParallelFor, ChunkedCoversTheRangeWithoutOverlap) {
+  const std::size_t n = 4321;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunked(n, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    ASSERT_LE(end, n);
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, ResultsLandInDisjointSlotsDeterministically) {
+  const std::size_t n = 1000;
+  std::vector<double> out(n, 0.0);
+  parallel_for(n, [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(out[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  EXPECT_THROW(
+      parallel_for(64,
+                   [](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool survives a throwing loop and runs subsequent loops normally.
+  std::atomic<int> count{0};
+  parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ParallelFor, NestedCallsRunSeriallyWithoutDeadlock) {
+  std::atomic<int> total{0};
+  parallel_for(8, [&](std::size_t) {
+    parallel_for(8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+}  // namespace
+}  // namespace flexrt::par

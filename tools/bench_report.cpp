@@ -1,0 +1,166 @@
+// bench_report -- times the hot analysis kernels (new batched engine vs the
+// frozen pre-refactor kernels from bench/legacy_kernels.hpp) and emits a
+// JSON report. CI archives the file as BENCH_micro.json so the speedup
+// trajectory stays visible across PRs without parsing google-benchmark
+// output.
+//
+// Usage: bench_report [output.json]   (default: BENCH_micro.json)
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/analysis_engine.hpp"
+#include "core/design.hpp"
+#include "core/paper_example.hpp"
+#include "gen/taskset_gen.hpp"
+#include "hier/min_quantum.hpp"
+#include "legacy_kernels.hpp"
+#include "rt/analysis_context.hpp"
+#include "rt/priority.hpp"
+
+namespace {
+
+using namespace flexrt;
+using Clock = std::chrono::steady_clock;
+
+volatile double g_sink = 0.0;  // defeats dead-code elimination
+
+/// ns per call, measured over enough repetitions to fill ~100 ms.
+double time_ns(const std::function<double()>& fn) {
+  g_sink = fn();  // warm caches (and the lazy AnalysisContext state)
+  std::size_t reps = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < reps; ++i) g_sink = fn();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed >= 0.1 || reps >= (1u << 24)) {
+      return elapsed * 1e9 / static_cast<double>(reps);
+    }
+    reps *= elapsed < 1e-3 ? 64 : 2;
+  }
+}
+
+struct Row {
+  std::string name;
+  double legacy_ns = 0.0;
+  double engine_ns = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_micro.json";
+
+  const core::ModeTaskSystem& sys = core::paper_example();
+  const core::ModeSchedule schedule =
+      core::solve_design(sys, hier::Scheduler::EDF, {0.02, 0.02, 0.02},
+                         core::DesignGoal::MaxSlackBandwidth)
+          .schedule;
+  const analysis::BatchEngine engine(sys, hier::Scheduler::EDF);
+
+  Rng rng(1246);  // matches micro_perf's sized_set(12)
+  gen::GenParams gp;
+  gp.num_tasks = 12;
+  gp.total_utilization = 0.6;
+  gp.ft_fraction = 0.0;
+  gp.fs_fraction = 0.0;
+  const rt::TaskSet ts12 =
+      rt::sort_rate_monotonic(gen::generate_task_set(gp, rng));
+  const rt::AnalysisContext ctx12(ts12);
+
+  const hier::SlotSupply slot(2.0, 0.75);
+
+  std::vector<Row> rows;
+  rows.push_back({"min_quantum_edf_n12",
+                  time_ns([&] {
+                    return legacy::min_quantum(ts12, hier::Scheduler::EDF, 2.0);
+                  }),
+                  time_ns([&] {
+                    return hier::min_quantum(ctx12, hier::Scheduler::EDF, 2.0);
+                  })});
+  rows.push_back({"min_quantum_fp_n12",
+                  time_ns([&] {
+                    return legacy::min_quantum(ts12, hier::Scheduler::FP, 2.0);
+                  }),
+                  time_ns([&] {
+                    return hier::min_quantum(ctx12, hier::Scheduler::FP, 2.0);
+                  })});
+  rows.push_back({"feasibility_margin_paper",
+                  time_ns([&] {
+                    return legacy::feasibility_margin(
+                        sys, hier::Scheduler::EDF, 2.0);
+                  }),
+                  time_ns([&] { return engine.feasibility_margin(2.0); })});
+  rows.push_back({"supply_inverse_slot",
+                  time_ns([&] {
+                    double acc = 0.0;
+                    for (int d = 1; d <= 16; ++d) {
+                      acc += slot.inverse_by_bisection(0.33 * d);
+                    }
+                    return acc;
+                  }),
+                  time_ns([&] {
+                    double acc = 0.0;
+                    for (int d = 1; d <= 16; ++d) acc += slot.inverse(0.33 * d);
+                    return acc;
+                  })});
+  rows.push_back(
+      {"sensitivity_report_paper",
+       time_ns([&] {
+         return legacy::sensitivity_report(sys, schedule,
+                                           hier::Scheduler::EDF)
+             .back()
+             .scale_margin;
+       }),
+       time_ns([&] {
+         return engine.sensitivity_report(schedule).back().scale_margin;
+       })});
+  {
+    core::SearchOptions opts;
+    opts.grid_step = 1e-2;
+    opts.p_max = 6.0;
+    rows.push_back({"sample_region_paper",
+                    time_ns([&] {
+                      double acc = 0.0;
+                      for (double p = opts.p_min; p <= opts.p_max;
+                           p += opts.grid_step) {
+                        acc += engine.feasibility_margin(p);
+                      }
+                      return acc;
+                    }),
+                    time_ns([&] {
+                      return engine.sample_region(opts).back().margin;
+                    })});
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(out, "{\n  \"schema\": \"flexrt-bench-micro/1\",\n");
+  std::fprintf(out, "  \"threads\": %zu,\n  \"kernels\": [\n",
+               par::thread_count());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"legacy_ns\": %.1f, "
+                 "\"engine_ns\": %.1f, \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.legacy_ns, r.engine_ns,
+                 r.legacy_ns / r.engine_ns, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+
+  for (const Row& r : rows) {
+    std::printf("%-28s legacy %10.0f ns   engine %10.0f ns   %6.2fx\n",
+                r.name.c_str(), r.legacy_ns, r.engine_ns,
+                r.legacy_ns / r.engine_ns);
+  }
+  std::printf("report written to %s\n", out_path.c_str());
+  return 0;
+}
