@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/primary_backup.cpp" "CMakeFiles/flexrt.dir/src/baseline/primary_backup.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/baseline/primary_backup.cpp.o.d"
+  "/root/repo/src/baseline/static_config.cpp" "CMakeFiles/flexrt.dir/src/baseline/static_config.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/baseline/static_config.cpp.o.d"
+  "/root/repo/src/common/math_util.cpp" "CMakeFiles/flexrt.dir/src/common/math_util.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/common/math_util.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "CMakeFiles/flexrt.dir/src/common/parallel.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/common/parallel.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/flexrt.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/flexrt.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/analysis_engine.cpp" "CMakeFiles/flexrt.dir/src/core/analysis_engine.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/core/analysis_engine.cpp.o.d"
+  "/root/repo/src/core/design.cpp" "CMakeFiles/flexrt.dir/src/core/design.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/core/design.cpp.o.d"
+  "/root/repo/src/core/general_frame.cpp" "CMakeFiles/flexrt.dir/src/core/general_frame.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/core/general_frame.cpp.o.d"
+  "/root/repo/src/core/integration.cpp" "CMakeFiles/flexrt.dir/src/core/integration.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/core/integration.cpp.o.d"
+  "/root/repo/src/core/mode_system.cpp" "CMakeFiles/flexrt.dir/src/core/mode_system.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/core/mode_system.cpp.o.d"
+  "/root/repo/src/core/paper_example.cpp" "CMakeFiles/flexrt.dir/src/core/paper_example.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/core/paper_example.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "CMakeFiles/flexrt.dir/src/core/schedule.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/core/schedule.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "CMakeFiles/flexrt.dir/src/core/sensitivity.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/core/sensitivity.cpp.o.d"
+  "/root/repo/src/fault/fault_model.cpp" "CMakeFiles/flexrt.dir/src/fault/fault_model.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/fault/fault_model.cpp.o.d"
+  "/root/repo/src/gen/taskset_gen.cpp" "CMakeFiles/flexrt.dir/src/gen/taskset_gen.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/gen/taskset_gen.cpp.o.d"
+  "/root/repo/src/hier/min_quantum.cpp" "CMakeFiles/flexrt.dir/src/hier/min_quantum.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/hier/min_quantum.cpp.o.d"
+  "/root/repo/src/hier/multi_slot_supply.cpp" "CMakeFiles/flexrt.dir/src/hier/multi_slot_supply.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/hier/multi_slot_supply.cpp.o.d"
+  "/root/repo/src/hier/response_time.cpp" "CMakeFiles/flexrt.dir/src/hier/response_time.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/hier/response_time.cpp.o.d"
+  "/root/repo/src/hier/sched_test.cpp" "CMakeFiles/flexrt.dir/src/hier/sched_test.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/hier/sched_test.cpp.o.d"
+  "/root/repo/src/hier/supply.cpp" "CMakeFiles/flexrt.dir/src/hier/supply.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/hier/supply.cpp.o.d"
+  "/root/repo/src/io/task_io.cpp" "CMakeFiles/flexrt.dir/src/io/task_io.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/io/task_io.cpp.o.d"
+  "/root/repo/src/part/bin_packing.cpp" "CMakeFiles/flexrt.dir/src/part/bin_packing.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/part/bin_packing.cpp.o.d"
+  "/root/repo/src/platform/checker.cpp" "CMakeFiles/flexrt.dir/src/platform/checker.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/platform/checker.cpp.o.d"
+  "/root/repo/src/rt/analysis_context.cpp" "CMakeFiles/flexrt.dir/src/rt/analysis_context.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/rt/analysis_context.cpp.o.d"
+  "/root/repo/src/rt/demand.cpp" "CMakeFiles/flexrt.dir/src/rt/demand.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/rt/demand.cpp.o.d"
+  "/root/repo/src/rt/edf_test.cpp" "CMakeFiles/flexrt.dir/src/rt/edf_test.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/rt/edf_test.cpp.o.d"
+  "/root/repo/src/rt/priority.cpp" "CMakeFiles/flexrt.dir/src/rt/priority.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/rt/priority.cpp.o.d"
+  "/root/repo/src/rt/rta.cpp" "CMakeFiles/flexrt.dir/src/rt/rta.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/rt/rta.cpp.o.d"
+  "/root/repo/src/rt/sched_points.cpp" "CMakeFiles/flexrt.dir/src/rt/sched_points.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/rt/sched_points.cpp.o.d"
+  "/root/repo/src/rt/task.cpp" "CMakeFiles/flexrt.dir/src/rt/task.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/rt/task.cpp.o.d"
+  "/root/repo/src/rt/task_set.cpp" "CMakeFiles/flexrt.dir/src/rt/task_set.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/rt/task_set.cpp.o.d"
+  "/root/repo/src/rt/util_bounds.cpp" "CMakeFiles/flexrt.dir/src/rt/util_bounds.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/rt/util_bounds.cpp.o.d"
+  "/root/repo/src/sim/frame.cpp" "CMakeFiles/flexrt.dir/src/sim/frame.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/sim/frame.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "CMakeFiles/flexrt.dir/src/sim/metrics.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/flexrt.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/supply_recorder.cpp" "CMakeFiles/flexrt.dir/src/sim/supply_recorder.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/sim/supply_recorder.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "CMakeFiles/flexrt.dir/src/sim/trace.cpp.o" "gcc" "CMakeFiles/flexrt.dir/src/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

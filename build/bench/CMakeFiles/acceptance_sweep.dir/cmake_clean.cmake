@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acceptance_sweep.dir/acceptance_sweep.cpp.o"
+  "CMakeFiles/acceptance_sweep.dir/acceptance_sweep.cpp.o.d"
+  "acceptance_sweep"
+  "acceptance_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acceptance_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

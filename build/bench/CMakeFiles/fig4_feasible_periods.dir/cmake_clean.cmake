@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_feasible_periods.dir/fig4_feasible_periods.cpp.o"
+  "CMakeFiles/fig4_feasible_periods.dir/fig4_feasible_periods.cpp.o.d"
+  "fig4_feasible_periods"
+  "fig4_feasible_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_feasible_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_slot_ablation.dir/multi_slot_ablation.cpp.o"
+  "CMakeFiles/multi_slot_ablation.dir/multi_slot_ablation.cpp.o.d"
+  "multi_slot_ablation"
+  "multi_slot_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_slot_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_sensitivity.dir/overhead_sensitivity.cpp.o"
+  "CMakeFiles/overhead_sensitivity.dir/overhead_sensitivity.cpp.o.d"
+  "overhead_sensitivity"
+  "overhead_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

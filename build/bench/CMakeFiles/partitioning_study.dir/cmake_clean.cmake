@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioning_study.dir/partitioning_study.cpp.o"
+  "CMakeFiles/partitioning_study.dir/partitioning_study.cpp.o.d"
+  "partitioning_study"
+  "partitioning_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioning_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_validation.dir/sim_validation.cpp.o"
+  "CMakeFiles/sim_validation.dir/sim_validation.cpp.o.d"
+  "sim_validation"
+  "sim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_design_solutions.dir/table2_design_solutions.cpp.o"
+  "CMakeFiles/table2_design_solutions.dir/table2_design_solutions.cpp.o.d"
+  "table2_design_solutions"
+  "table2_design_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_design_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_control.dir/engine_control.cpp.o"
+  "CMakeFiles/engine_control.dir/engine_control.cpp.o.d"
+  "engine_control"
+  "engine_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_context_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/analysis_context_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/analysis_context_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/checker_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/checker_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/checker_test.cpp.o.d"
+  "/root/repo/tests/demand_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/demand_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/demand_test.cpp.o.d"
+  "/root/repo/tests/design_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/design_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/design_test.cpp.o.d"
+  "/root/repo/tests/edge_cases_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/end_to_end_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/fault_model_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/fault_model_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/fault_model_test.cpp.o.d"
+  "/root/repo/tests/frame_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/frame_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/frame_test.cpp.o.d"
+  "/root/repo/tests/gen_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/gen_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/gen_test.cpp.o.d"
+  "/root/repo/tests/general_frame_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/general_frame_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/general_frame_test.cpp.o.d"
+  "/root/repo/tests/hier_sched_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/hier_sched_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/hier_sched_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/math_util_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/math_util_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/math_util_test.cpp.o.d"
+  "/root/repo/tests/min_quantum_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/min_quantum_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/min_quantum_test.cpp.o.d"
+  "/root/repo/tests/mode_system_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/mode_system_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/mode_system_test.cpp.o.d"
+  "/root/repo/tests/multi_slot_supply_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/multi_slot_supply_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/multi_slot_supply_test.cpp.o.d"
+  "/root/repo/tests/paper_values_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/paper_values_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/paper_values_test.cpp.o.d"
+  "/root/repo/tests/parallel_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/parallel_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/response_time_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/response_time_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/response_time_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/rta_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/rta_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/rta_test.cpp.o.d"
+  "/root/repo/tests/sched_points_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/sched_points_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/sched_points_test.cpp.o.d"
+  "/root/repo/tests/sensitivity_parity_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/sensitivity_parity_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/sensitivity_parity_test.cpp.o.d"
+  "/root/repo/tests/sensitivity_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/sim_analysis_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/sim_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/sim_analysis_test.cpp.o.d"
+  "/root/repo/tests/sim_fault_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/sim_fault_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/sim_fault_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/supply_inverse_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/supply_inverse_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/supply_inverse_test.cpp.o.d"
+  "/root/repo/tests/supply_recorder_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/supply_recorder_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/supply_recorder_test.cpp.o.d"
+  "/root/repo/tests/supply_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/supply_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/supply_test.cpp.o.d"
+  "/root/repo/tests/table_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/table_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/table_test.cpp.o.d"
+  "/root/repo/tests/task_io_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/task_io_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/task_io_test.cpp.o.d"
+  "/root/repo/tests/task_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/task_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/task_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/flexrt_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/flexrt_tests.dir/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/flexrt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

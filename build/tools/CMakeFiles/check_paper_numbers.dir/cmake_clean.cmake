@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_paper_numbers.dir/check_paper_numbers.cpp.o"
+  "CMakeFiles/check_paper_numbers.dir/check_paper_numbers.cpp.o.d"
+  "check_paper_numbers"
+  "check_paper_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_paper_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

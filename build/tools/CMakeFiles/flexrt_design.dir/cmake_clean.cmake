@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexrt_design.dir/flexrt_design.cpp.o"
+  "CMakeFiles/flexrt_design.dir/flexrt_design.cpp.o.d"
+  "flexrt_design"
+  "flexrt_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexrt_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
