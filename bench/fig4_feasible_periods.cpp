@@ -8,30 +8,80 @@
 //   (4) largest admissible total overhead under RM           (paper: 0.129)
 //   (5) largest feasible P under EDF with O_tot = 0.05       (paper: 2.966)
 //
-// Usage: fig4_feasible_periods [--csv] [--step <dP>]
+// With --gen-trials N it appends a generated-system region study on the
+// sharded study driver (core/study_runner.hpp): the P_max distribution of N
+// random systems under both schedulers. --shard k/N splits the trial range
+// across processes; per-shard sum/count rows merge by addition.
+//
+// Usage: fig4_feasible_periods [--csv] [--step <dP>] [--gen-trials N]
+//                              [--seed S] [--shard k/N]
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/integration.hpp"
 #include "core/paper_example.hpp"
+#include "core/study_runner.hpp"
+#include "gen/taskset_gen.hpp"
 
 using namespace flexrt;
+
+namespace {
+
+/// P_max of one random system under both schedulers (-1 = infeasible or
+/// packing failure).
+struct TrialRow {
+  double p_max_edf = -1.0;
+  double p_max_rm = -1.0;
+};
+
+TrialRow random_trial(Rng& rng) {
+  const auto sys = gen::study_system(rng);
+  TrialRow row;
+  if (!sys) return row;
+  core::SearchOptions opts;
+  opts.grid_step = 5e-3;
+  opts.p_max = 10.0;
+  try {
+    row.p_max_edf =
+        core::max_feasible_period(*sys, hier::Scheduler::EDF, 0.05, opts);
+  } catch (const InfeasibleError&) {
+  }
+  try {
+    row.p_max_rm =
+        core::max_feasible_period(*sys, hier::Scheduler::FP, 0.05, opts);
+  } catch (const InfeasibleError&) {
+  }
+  return row;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
   double step = 0.05;
+  core::StudyOptions study;
+  study.trials = 0;  // generated part is opt-in (--gen-trials)
+  study.base_seed = 0xF16;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
     if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc) {
       step = std::stod(argv[++i]);
+      continue;
     }
+    core::parse_study_flag(study, argc, argv, i, "--gen-trials");
+  }
+  if (study.shard.index != 0 && study.trials == 0) {
+    std::cout << "nothing to do: non-lead shard without --gen-trials\n";
+    return 0;
   }
 
   const core::ModeTaskSystem sys = core::paper_example();
   const core::PaperReference ref;
 
+  if (study.shard.index == 0) {
   std::cout << "Figure 4: region of feasible periods (13-task example)\n\n";
   core::SearchOptions opts;
   opts.p_min = 0.05;
@@ -69,5 +119,35 @@ int main(int argc, char** argv) {
       ref.p_max_edf_o005, 3);
   std::cout << "\nMarked points:\n";
   csv ? points.print_csv(std::cout) : points.print(std::cout);
+  }  // lead shard
+
+  if (study.trials > 0) {
+    const auto slice = core::run_study(
+        study, [](std::size_t, Rng& rng) { return random_trial(rng); });
+    std::cout << "\nE2b: generated systems, P_max distribution (trials "
+              << slice.begin << ".." << slice.begin + slice.rows.size()
+              << " of " << study.trials << ", shard "
+              << study.shard.index + 1 << "/" << study.shard.count
+              << ", O_tot = 0.05)\n\n";
+    Table gen_t({"scheduler", "trials", "feasible", "sum_P_max",
+                 "mean_P_max"});
+    for (const bool edf : {true, false}) {
+      std::size_t feasible = 0;
+      double sum_p = 0.0;
+      for (const TrialRow& row : slice.rows) {
+        const double p = edf ? row.p_max_edf : row.p_max_rm;
+        if (p < 0.0) continue;
+        feasible++;
+        sum_p += p;
+      }
+      gen_t.row()
+          .cell(edf ? "EDF" : "RM")
+          .cell(slice.rows.size())
+          .cell(feasible)
+          .cell(sum_p, 3)
+          .cell(feasible ? sum_p / static_cast<double>(feasible) : 0.0, 3);
+    }
+    csv ? gen_t.print_csv(std::cout) : gen_t.print(std::cout);
+  }
   return 0;
 }

@@ -20,7 +20,9 @@
 #include "gen/taskset_gen.hpp"
 #include "hier/min_quantum.hpp"
 #include "legacy_kernels.hpp"
+#include "stress_workloads.hpp"
 #include "rt/analysis_context.hpp"
+#include "rt/deadline_bound.hpp"
 #include "rt/demand.hpp"
 #include "rt/priority.hpp"
 #include "rt/sched_points.hpp"
@@ -84,6 +86,71 @@ void BM_EdfDemandCurve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EdfDemandCurve)->Arg(4)->Arg(8)->Arg(12);
+
+// --- stress scale: QPA-condensed dlSet at n = 10^3-10^4 -------------------
+// The hostile sets have effectively co-prime periods: the full dlSet runs to
+// an astronomic hyperperiod, so only the condensed path is tractable there.
+// The tractable twin (menu periods, hyperperiod 120) carries the legacy
+// comparison: per-point O(n * points) kernel vs the cached context probe.
+// Workloads are shared with tools/bench_report via bench/stress_workloads.hpp.
+
+using benchws::stress_set;
+using benchws::tractable_big_set;
+
+void BM_BoundedDeadlineSetStress(benchmark::State& state) {
+  const rt::TaskSet ts = stress_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::bounded_deadline_set(ts));
+  }
+}
+BENCHMARK(BM_BoundedDeadlineSetStress)->Arg(1000)->Arg(4000);
+
+void BM_MinQuantumStressCold(benchmark::State& state) {
+  // Cold: context built per iteration -- the full cost of one analysis of a
+  // fresh hyperperiod-hostile set (the acceptance criterion's "seconds").
+  const rt::TaskSet ts = stress_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const rt::AnalysisContext ctx(ts);
+    benchmark::DoNotOptimize(hier::min_quantum(ctx, hier::Scheduler::EDF,
+                                               2.0));
+  }
+}
+BENCHMARK(BM_MinQuantumStressCold)->Arg(1000)->Arg(4000);
+
+void BM_MinQuantumStressProbe(benchmark::State& state) {
+  // Warm: the design-sweep shape, one context probed at many periods.
+  const rt::TaskSet ts = stress_set(static_cast<std::size_t>(state.range(0)));
+  const rt::AnalysisContext ctx(ts);
+  double period = 1.0;
+  for (auto _ : state) {
+    period = period >= 8.0 ? 1.0 : period + 0.37;
+    benchmark::DoNotOptimize(hier::min_quantum(ctx, hier::Scheduler::EDF,
+                                               period));
+  }
+}
+BENCHMARK(BM_MinQuantumStressProbe)->Arg(1000)->Arg(4000);
+
+void BM_MinQuantumBigLegacy(benchmark::State& state) {
+  // Legacy path on the tractable twin (the hostile set would not finish).
+  const rt::TaskSet ts =
+      tractable_big_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legacy::min_quantum(ts, hier::Scheduler::EDF,
+                                                 2.0));
+  }
+}
+BENCHMARK(BM_MinQuantumBigLegacy)->Arg(1000);
+
+void BM_MinQuantumBig(benchmark::State& state) {
+  const rt::TaskSet ts =
+      tractable_big_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const rt::AnalysisContext ctx(ts);
+    benchmark::DoNotOptimize(hier::min_quantum(ctx, hier::Scheduler::EDF,
+                                               2.0));
+  }
+}
+BENCHMARK(BM_MinQuantumBig)->Arg(1000);
 
 // --- supply inversion: closed form vs bisection fallback ------------------
 

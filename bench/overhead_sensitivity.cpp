@@ -4,58 +4,147 @@
 // largest feasible period (goal G1), the wasted bandwidth O_tot/P at that
 // design, and the best redistributable slack bandwidth (goal G2). Past the
 // maximum admissible overhead (0.201 EDF / 0.129 RM) the design problem
-// becomes infeasible.
+// becomes infeasible. The whole sweep runs against one BatchEngine per
+// scheduler (solve_design's engine overload) -- the per-partition caches
+// are built once, not once per O_tot point.
 //
-// Usage: overhead_sensitivity [--csv]
+// With --gen-trials N the bench adds a generated-system acceptance study on
+// the sharded study driver: N random systems, each solved across the O_tot
+// menu, reporting the fraction that stays feasible per overhead level.
+// Shard rows (counts) merge by addition across --shard k/N processes.
+//
+// Usage: overhead_sensitivity [--csv] [--gen-trials N] [--seed S]
+//                             [--shard k/N]
+#include <array>
 #include <cstring>
 #include <iostream>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
+#include "core/analysis_engine.hpp"
 #include "core/design.hpp"
 #include "core/paper_example.hpp"
+#include "core/study_runner.hpp"
+#include "gen/taskset_gen.hpp"
 
 using namespace flexrt;
 
-int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::strcmp(argv[1], "--csv") == 0;
-  const core::ModeTaskSystem sys = core::paper_example();
+namespace {
 
-  std::cout << "E9: design space vs total mode-switch overhead "
-            << "(Table-1 system)\n\n";
-  Table t({"O_tot", "scheduler", "P_max(G1)", "overhead_bw(G1)",
-           "slack_bw(G2)", "P(G2)"});
+constexpr std::array<double, 9> kOverheadMenu = {
+    0.0, 0.01, 0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25};
+
+/// Which overhead levels a random system survives (G1 solvable), per
+/// scheduler; index order matches kOverheadMenu.
+struct TrialRow {
+  std::array<bool, kOverheadMenu.size()> edf{};
+  std::array<bool, kOverheadMenu.size()> rm{};
+  bool packed = false;
+};
+
+TrialRow random_trial(Rng& rng) {
+  const auto sys = gen::study_system(rng);
+  TrialRow row;
+  if (!sys) return row;
+  row.packed = true;
   for (const hier::Scheduler alg : {hier::Scheduler::EDF,
                                     hier::Scheduler::FP}) {
-    for (const double o :
-         {0.0, 0.01, 0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25}) {
-      const core::Overheads ov{o / 3, o / 3, o / 3};
+    const analysis::BatchEngine engine(*sys, alg);
+    core::SearchOptions opts;
+    opts.grid_step = 5e-3;
+    opts.p_max = 10.0;
+    for (std::size_t k = 0; k < kOverheadMenu.size(); ++k) {
+      const double o = kOverheadMenu[k];
+      bool ok = true;
       try {
-        const auto g1 = core::solve_design(sys, alg, ov,
-                                           core::DesignGoal::MinOverheadBandwidth);
-        const auto g2 = core::solve_design(sys, alg, ov,
-                                           core::DesignGoal::MaxSlackBandwidth);
-        t.row()
-            .cell(o, 3)
-            .cell(to_string(alg))
-            .cell(g1.schedule.period, 3)
-            .cell(g1.schedule.overhead_bandwidth(), 4)
-            .cell(g2.schedule.slack_bandwidth(), 4)
-            .cell(g2.schedule.period, 3);
+        core::solve_design(engine, {o / 3, o / 3, o / 3},
+                           core::DesignGoal::MinOverheadBandwidth, opts);
       } catch (const InfeasibleError&) {
-        t.row()
-            .cell(o, 3)
-            .cell(to_string(alg))
-            .cell("infeasible")
-            .cell("-")
-            .cell("-")
-            .cell("-");
+        ok = false;
       }
+      (alg == hier::Scheduler::EDF ? row.edf : row.rm)[k] = ok;
     }
   }
-  csv ? t.print_csv(std::cout) : t.print(std::cout);
-  std::cout << "\nshape checks: P_max shrinks and overhead bandwidth grows "
-               "with O_tot; RM turns infeasible past 0.129, EDF past "
-               "0.201.\n";
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool csv = false;
+  core::StudyOptions study;
+  study.trials = 0;  // generated part is opt-in (--gen-trials)
+  study.base_seed = 0xE9;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+    core::parse_study_flag(study, argc, argv, i, "--gen-trials");
+  }
+  const core::ModeTaskSystem sys = core::paper_example();
+
+  if (study.shard.index == 0) {
+    std::cout << "E9: design space vs total mode-switch overhead "
+              << "(Table-1 system)\n\n";
+    Table t({"O_tot", "scheduler", "P_max(G1)", "overhead_bw(G1)",
+             "slack_bw(G2)", "P(G2)"});
+    for (const hier::Scheduler alg : {hier::Scheduler::EDF,
+                                      hier::Scheduler::FP}) {
+      // One engine per scheduler serves every overhead level.
+      const analysis::BatchEngine engine(sys, alg);
+      for (const double o : kOverheadMenu) {
+        const core::Overheads ov{o / 3, o / 3, o / 3};
+        try {
+          const auto g1 = core::solve_design(
+              engine, ov, core::DesignGoal::MinOverheadBandwidth);
+          const auto g2 = core::solve_design(
+              engine, ov, core::DesignGoal::MaxSlackBandwidth);
+          t.row()
+              .cell(o, 3)
+              .cell(to_string(alg))
+              .cell(g1.schedule.period, 3)
+              .cell(g1.schedule.overhead_bandwidth(), 4)
+              .cell(g2.schedule.slack_bandwidth(), 4)
+              .cell(g2.schedule.period, 3);
+        } catch (const InfeasibleError&) {
+          t.row()
+              .cell(o, 3)
+              .cell(to_string(alg))
+              .cell("infeasible")
+              .cell("-")
+              .cell("-")
+              .cell("-");
+        }
+      }
+    }
+    csv ? t.print_csv(std::cout) : t.print(std::cout);
+    std::cout << "\nshape checks: P_max shrinks and overhead bandwidth grows "
+                 "with O_tot; RM turns infeasible past 0.129, EDF past "
+                 "0.201.\n";
+  }
+
+  if (study.trials > 0) {
+    const auto slice = core::run_study(
+        study, [](std::size_t, Rng& rng) { return random_trial(rng); });
+    std::cout << "\nE9b: generated systems, acceptance vs O_tot (trials "
+              << slice.begin << ".." << slice.begin + slice.rows.size()
+              << " of " << study.trials << ", shard "
+              << study.shard.index + 1 << "/" << study.shard.count << ")\n\n";
+    Table t({"O_tot", "trials", "packed", "feasible_EDF", "feasible_RM"});
+    std::size_t packed = 0;
+    for (const TrialRow& row : slice.rows) packed += row.packed ? 1 : 0;
+    for (std::size_t k = 0; k < kOverheadMenu.size(); ++k) {
+      std::size_t edf = 0, rm = 0;
+      for (const TrialRow& row : slice.rows) {
+        edf += row.edf[k] ? 1 : 0;
+        rm += row.rm[k] ? 1 : 0;
+      }
+      t.row()
+          .cell(kOverheadMenu[k], 3)
+          .cell(slice.rows.size())
+          .cell(packed)
+          .cell(edf)
+          .cell(rm);
+    }
+    csv ? t.print_csv(std::cout) : t.print(std::cout);
+  }
   return 0;
 }

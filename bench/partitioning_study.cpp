@@ -6,7 +6,15 @@
 // heuristics, by the resulting maximal feasible period and slack bandwidth,
 // and repeats the comparison on random systems.
 //
-// Usage: partitioning_study [--csv] [--trials N]
+// The random-system part runs on the sharded study driver
+// (core/study_runner.hpp): trials are spread over the parallel_for worker
+// pool inside the process (FLEXRT_THREADS) and, with --shard k/N, over N
+// cooperating processes. Per-trial seeds depend only on (--seed, trial id),
+// so shard outputs are disjoint slices of one deterministic study and the
+// per-shard aggregate rows (sums + counts) merge by addition.
+//
+// Usage: partitioning_study [--csv] [--trials N] [--seed S] [--shard k/N]
+#include <array>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -16,11 +24,16 @@
 #include "common/table.hpp"
 #include "core/integration.hpp"
 #include "core/paper_example.hpp"
+#include "core/study_runner.hpp"
 #include "gen/taskset_gen.hpp"
 
 using namespace flexrt;
 
 namespace {
+
+constexpr std::array<part::Heuristic, 4> kHeuristics = {
+    part::Heuristic::FirstFit, part::Heuristic::BestFit,
+    part::Heuristic::WorstFit, part::Heuristic::NextFit};
 
 struct Outcome {
   bool feasible = false;
@@ -45,31 +58,49 @@ Outcome evaluate(const core::ModeTaskSystem& sys, double o_tot) {
   return out;
 }
 
+/// One random trial: a single generated set evaluated under every
+/// heuristic, so the heuristics are compared on identical workloads.
+struct TrialRow {
+  std::array<Outcome, kHeuristics.size()> by_heuristic{};
+  std::array<bool, kHeuristics.size()> packed{};
+};
+
+TrialRow random_trial(double o_tot, Rng& rng) {
+  const rt::TaskSet ts = gen::study_task_set(rng);
+  TrialRow row;
+  for (std::size_t h = 0; h < kHeuristics.size(); ++h) {
+    const auto sys = gen::build_system(ts, {kHeuristics[h], true, 1.0});
+    if (!sys) continue;
+    row.packed[h] = true;
+    row.by_heuristic[h] = evaluate(*sys, o_tot);
+  }
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
-  int trials = 100;
+  core::StudyOptions study;
+  study.trials = 100;
+  study.base_seed = 0x9A57;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
-      trials = std::stoi(argv[++i]);
-    }
+    core::parse_study_flag(study, argc, argv, i);
   }
   const double o_tot = 0.05;
+  const bool lead_shard = study.shard.index == 0;
 
-  std::cout << "E10a: Table-1 system, manual partition vs heuristics "
-            << "(EDF, O_tot = " << o_tot << ")\n"
-            << "(capacity = per-channel utilization cap during packing; "
-               "first/best/next-fit need a tight cap to spread load)\n\n";
-  Table t1({"partition", "capacity", "P_max", "slack_bw"});
-  {
+  if (lead_shard) {
+    std::cout << "E10a: Table-1 system, manual partition vs heuristics "
+              << "(EDF, O_tot = " << o_tot << ")\n"
+              << "(capacity = per-channel utilization cap during packing; "
+                 "first/best/next-fit need a tight cap to spread load)\n\n";
+    Table t1({"partition", "capacity", "P_max", "slack_bw"});
     const Outcome manual = evaluate(core::paper_example(), o_tot);
     t1.row().cell("manual (paper)").cell("-").cell(manual.p_max, 3).cell(
         manual.slack_bw, 3);
-    for (const part::Heuristic h :
-         {part::Heuristic::FirstFit, part::Heuristic::BestFit,
-          part::Heuristic::WorstFit, part::Heuristic::NextFit}) {
+    for (const part::Heuristic h : kHeuristics) {
       for (const double cap : {1.0, 0.5, 0.3}) {
         const auto sys = gen::build_system(core::paper_example_tasks(),
                                            {h, true, cap});
@@ -82,41 +113,43 @@ int main(int argc, char** argv) {
             o.slack_bw, 3);
       }
     }
+    csv ? t1.print_csv(std::cout) : t1.print(std::cout);
   }
-  csv ? t1.print_csv(std::cout) : t1.print(std::cout);
+
+  const auto slice = core::run_study(
+      study, [&](std::size_t, Rng& rng) { return random_trial(o_tot, rng); });
 
   std::cout << "\nE10b: random systems, acceptance + mean P_max per "
-               "heuristic (" << trials << " systems)\n\n";
-  Table t2({"heuristic", "accepted", "mean_P_max", "mean_slack_bw"});
-  for (const part::Heuristic h :
-       {part::Heuristic::FirstFit, part::Heuristic::BestFit,
-        part::Heuristic::WorstFit, part::Heuristic::NextFit}) {
-    Rng rng(0x9A57);
+               "heuristic (trials " << slice.begin << ".."
+            << slice.begin + slice.rows.size() << " of " << study.trials
+            << ", shard " << study.shard.index + 1 << "/"
+            << study.shard.count << ", seed 0x" << std::hex << study.base_seed
+            << std::dec << ")\n\n";
+  Table t2({"heuristic", "trials", "accepted", "sum_P_max", "sum_slack_bw",
+            "mean_P_max"});
+  for (std::size_t h = 0; h < kHeuristics.size(); ++h) {
     int accepted = 0;
     double sum_p = 0.0, sum_s = 0.0;
-    for (int k = 0; k < trials; ++k) {
-      gen::GenParams gp;
-      gp.num_tasks = 12;
-      gp.total_utilization = 1.2;
-      const rt::TaskSet ts = gen::generate_task_set(gp, rng);
-      const auto sys = gen::build_system(ts, {h, true, 1.0});
-      if (!sys) continue;
-      const Outcome o = evaluate(*sys, o_tot);
-      if (o.feasible) {
-        accepted++;
-        sum_p += o.p_max;
-        sum_s += o.slack_bw;
-      }
+    for (const TrialRow& row : slice.rows) {
+      if (!row.packed[h] || !row.by_heuristic[h].feasible) continue;
+      accepted++;
+      sum_p += row.by_heuristic[h].p_max;
+      sum_s += row.by_heuristic[h].slack_bw;
     }
     t2.row()
-        .cell(to_string(h))
-        .cell(static_cast<double>(accepted) / trials, 3)
-        .cell(accepted ? sum_p / accepted : 0.0, 3)
-        .cell(accepted ? sum_s / accepted : 0.0, 3);
+        .cell(to_string(kHeuristics[h]))
+        .cell(static_cast<double>(slice.rows.size()), 0)
+        .cell(static_cast<double>(accepted), 0)
+        .cell(sum_p, 3)
+        .cell(sum_s, 3)
+        .cell(accepted ? sum_p / accepted : 0.0, 3);
   }
   csv ? t2.print_csv(std::cout) : t2.print(std::cout);
-  std::cout << "\nshape check: worst-fit (load balancing) matches or beats "
-               "the other heuristics on acceptance; the paper's manual "
-               "partition is near the heuristic optimum.\n";
+  if (lead_shard) {
+    std::cout << "\nshape check: worst-fit (load balancing) matches or beats "
+                 "the other heuristics on acceptance; the paper's manual "
+                 "partition is near the heuristic optimum. Shard rows merge "
+                 "by summing trials/accepted/sums.\n";
+  }
   return 0;
 }

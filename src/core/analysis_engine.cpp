@@ -24,6 +24,9 @@ struct BatchEngine::ScaledProbe {
   hier::LinearSupply supply;
   /// EDF: utilization added per unit of (lambda - 1).
   double u_delta = 0.0;
+  /// EDF: demand-line intercept added per unit of (lambda - 1); feeds the
+  /// QPA tail closure on condensed deadline sets.
+  double c_delta = 0.0;
   /// EDF: scaled tasks' demand at each deadline point.
   std::vector<double> edf_contrib;
   /// FP: scaled tasks' share of W_i at each scheduling point, per task i.
@@ -38,7 +41,8 @@ bool matches(const rt::Task& t, const std::string& name) {
 
 }  // namespace
 
-BatchEngine::BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg)
+BatchEngine::BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg,
+                         const rt::DlBoundOptions& dl_opts)
     : alg_(alg), auto_p_max_(core::auto_period_bound(sys)) {
   for (const rt::Mode mode : kAllModes) {
     for (const rt::TaskSet& ts : sys.partitions(mode)) {
@@ -49,8 +53,8 @@ BatchEngine::BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg)
       mode_used_[static_cast<std::size_t>(mode)] = true;
       rt::TaskSet ordered =
           alg == hier::Scheduler::FP ? rt::sort_deadline_monotonic(ts) : ts;
-      parts_.push_back(
-          {mode, std::make_unique<rt::AnalysisContext>(std::move(ordered))});
+      parts_.push_back({mode, std::make_unique<rt::AnalysisContext>(
+                                  std::move(ordered), dl_opts)});
     }
   }
 }
@@ -283,15 +287,17 @@ double BatchEngine::margin_impl(const core::ModeSchedule& schedule,
     }
     if (!any) continue;
 
-    ScaledProbe probe{&part, schedule.supply(part.mode), 0.0, {}, {}};
+    ScaledProbe probe{&part, schedule.supply(part.mode), 0.0, 0.0, {}, {}};
     if (alg_ == hier::Scheduler::EDF) {
       probe.edf_contrib.assign(ctx.deadline_points().size(), 0.0);
       for (std::size_t i = 0; i < ctx.size(); ++i) {
-        if (!matches(ctx.tasks()[i], task_name)) continue;
-        probe.u_delta += ctx.tasks()[i].utilization();
+        const rt::Task& t = ctx.tasks()[i];
+        if (!matches(t, task_name)) continue;
+        probe.u_delta += t.utilization();
+        probe.c_delta += t.wcet * (t.period - t.deadline) / t.period;
         const std::vector<double> jobs = ctx.edf_point_jobs(i);
         for (std::size_t k = 0; k < jobs.size(); ++k) {
-          probe.edf_contrib[k] += jobs[k] * ctx.tasks()[i].wcet;
+          probe.edf_contrib[k] += jobs[k] * t.wcet;
         }
       }
     } else {
@@ -324,6 +330,15 @@ double BatchEngine::margin_impl(const core::ModeSchedule& schedule,
                      p.supply.value(points[k]))) {
           return false;
         }
+      }
+      if (!ctx.dl_exact()) {
+        // QPA tail closure with the scaled demand line: both U and c grow
+        // linearly in (lambda - 1).
+        const double tail = rt::qpa_horizon(
+            ctx.utilization() + growth * p.u_delta,
+            ctx.dl_util_const() + growth * p.c_delta, p.supply.rate(),
+            p.supply.floor_delay());
+        if (!leq_tol(tail, ctx.dl_horizon())) return false;
       }
       return true;
     }

@@ -32,7 +32,12 @@ namespace flexrt::analysis {
 /// when issuing many queries against one system.
 class BatchEngine {
  public:
-  BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg);
+  /// `dl_opts` controls the QPA bounding/condensation of every partition's
+  /// EDF deadline set (rt/deadline_bound.hpp); the default budget keeps
+  /// paper-scale systems exact and makes hyperperiod-hostile generated
+  /// systems tractable via the condensed safe over-approximation.
+  BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg,
+              const rt::DlBoundOptions& dl_opts = {});
 
   hier::Scheduler scheduler() const noexcept { return alg_; }
 

@@ -15,12 +15,19 @@ const char* to_string(DesignGoal goal) noexcept {
 Design solve_design(const ModeTaskSystem& sys, hier::Scheduler alg,
                     const Overheads& overheads, DesignGoal goal,
                     const SearchOptions& opts) {
-  FLEXRT_REQUIRE(overheads.ft >= 0.0 && overheads.fs >= 0.0 &&
-                     overheads.nf >= 0.0,
-                 "overheads must be >= 0");
   // One engine serves the period search and the three quantum queries:
   // the per-partition caches built during the search are reused verbatim.
   const analysis::BatchEngine engine(sys, alg);
+  return solve_design(engine, overheads, goal, opts);
+}
+
+Design solve_design(const analysis::BatchEngine& engine,
+                    const Overheads& overheads, DesignGoal goal,
+                    const SearchOptions& opts) {
+  FLEXRT_REQUIRE(overheads.ft >= 0.0 && overheads.fs >= 0.0 &&
+                     overheads.nf >= 0.0,
+                 "overheads must be >= 0");
+  const hier::Scheduler alg = engine.scheduler();
   double period = 0.0;
   switch (goal) {
     case DesignGoal::MinOverheadBandwidth:

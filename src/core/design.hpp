@@ -4,6 +4,10 @@
 #include "core/mode_system.hpp"
 #include "core/schedule.hpp"
 
+namespace flexrt::analysis {
+class BatchEngine;
+}  // namespace flexrt::analysis
+
 namespace flexrt::core {
 
 /// The two design goals worked out in the paper's §4.
@@ -38,6 +42,15 @@ struct Design {
 /// Throws InfeasibleError when no period in the search range admits the
 /// requested total overhead.
 Design solve_design(const ModeTaskSystem& sys, hier::Scheduler alg,
+                    const Overheads& overheads, DesignGoal goal,
+                    const SearchOptions& opts = {});
+
+/// Engine-threaded variant: solves against an existing BatchEngine (whose
+/// scheduler decides the analysis), so a sweep over overheads/goals -- the
+/// grid refinement pattern of the sensitivity studies -- reuses one set of
+/// per-partition caches instead of rebuilding them per call. The TaskSystem
+/// front above is a one-shot convenience over a throwaway engine.
+Design solve_design(const analysis::BatchEngine& engine,
                     const Overheads& overheads, DesignGoal goal,
                     const SearchOptions& opts = {});
 

@@ -66,6 +66,50 @@ rt::TaskSet generate_task_set(const GenParams& params, Rng& rng) {
   throw Error("task-set generation failed after 256 attempts");
 }
 
+rt::TaskSet generate_stress_set(const StressParams& params, Rng& rng) {
+  FLEXRT_REQUIRE(params.period_granularity > 0.0,
+                 "period granularity must be > 0");
+  FLEXRT_REQUIRE(params.period_min >= params.period_granularity &&
+                     params.period_max > params.period_min,
+                 "invalid period range");
+  FLEXRT_REQUIRE(params.deadline_min_ratio > 0.0 &&
+                     params.deadline_min_ratio <= 1.0,
+                 "deadline ratio must be in (0, 1]");
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const std::vector<double> utils =
+        uunifast(params.num_tasks, params.total_utilization, rng);
+    if (std::any_of(utils.begin(), utils.end(), [&](double u) {
+          return u > params.max_task_utilization;
+        })) {
+      continue;  // resample the whole vector to keep UUniFast's distribution
+    }
+    std::vector<rt::Task> tasks;
+    tasks.reserve(utils.size());
+    bool ok = true;
+    for (std::size_t i = 0; i < utils.size(); ++i) {
+      const double raw = rng.log_uniform(params.period_min, params.period_max);
+      const double period =
+          std::max(params.period_granularity,
+                   std::round(raw / params.period_granularity) *
+                       params.period_granularity);
+      const double wcet = utils[i] * period;
+      double deadline = period;
+      if (params.deadline_min_ratio < 1.0) {
+        deadline = period * rng.uniform(params.deadline_min_ratio, 1.0);
+        deadline = std::max(deadline, wcet);  // keep C <= D
+      }
+      if (wcet <= 0.0) {
+        ok = false;
+        break;
+      }
+      tasks.push_back(rt::make_task("s" + std::to_string(i), wcet, period,
+                                    deadline, rt::Mode::NF));
+    }
+    if (ok) return rt::TaskSet(std::move(tasks));
+  }
+  throw Error("stress-set generation failed after 256 attempts");
+}
+
 std::optional<core::ModeTaskSystem> build_system(const rt::TaskSet& ts,
                                                  const part::PackOptions& pack) {
   auto pack_mode = [&](rt::Mode mode) {
@@ -76,6 +120,18 @@ std::optional<core::ModeTaskSystem> build_system(const rt::TaskSet& ts,
   auto nf = pack_mode(rt::Mode::NF);
   if (!ft || !fs || !nf) return std::nullopt;
   return core::ModeTaskSystem(std::move(*ft), std::move(*fs), std::move(*nf));
+}
+
+rt::TaskSet study_task_set(Rng& rng) {
+  GenParams gp;
+  gp.num_tasks = 12;
+  gp.total_utilization = 1.2;
+  return generate_task_set(gp, rng);
+}
+
+std::optional<core::ModeTaskSystem> study_system(Rng& rng) {
+  return build_system(study_task_set(rng),
+                      {part::Heuristic::WorstFit, true, 1.0});
 }
 
 }  // namespace flexrt::gen

@@ -37,6 +37,32 @@ struct GenParams {
 /// Draws one random task set. Task names are "t<index>".
 rt::TaskSet generate_task_set(const GenParams& params, Rng& rng);
 
+/// Parameters of the hyperperiod-hostile stress generator. Unlike GenParams'
+/// divisor-friendly period menu, periods here are drawn log-uniformly from
+/// [period_min, period_max] and snapped to a fine granularity grid, so the
+/// resulting periods are effectively co-prime and the hyperperiod saturates
+/// (astronomically large or outright unrepresentable). These are the
+/// n ~ 10^3-10^4 workloads the QPA-bounded deadline set exists for: the
+/// full dlSet enumeration is intractable, the condensed one is not.
+struct StressParams {
+  std::size_t num_tasks = 1000;
+  double total_utilization = 0.6;
+  double period_min = 1.0;
+  double period_max = 1000.0;
+  /// Periods snap to multiples of this grid (kept well above the 1e-6
+  /// hyperperiod resolution so the saturating lcm path engages, not the
+  /// representability error).
+  double period_granularity = 1e-3;
+  /// Deadline = period * uniform[deadline_min_ratio, 1].
+  double deadline_min_ratio = 0.8;
+  /// Cap on any single task's utilization (whole vector resampled above).
+  double max_task_utilization = 0.9;
+};
+
+/// Draws one hyperperiod-hostile stress set. Deterministic per (params,
+/// rng state); task names are "s<index>".
+rt::TaskSet generate_stress_set(const StressParams& params, Rng& rng);
+
 /// Splits a generated set by required mode and packs each mode's tasks onto
 /// its channels (1 FT / 2 FS / 4 NF) with the given heuristic. Returns
 /// nullopt when packing fails (some channel would exceed unit bandwidth,
@@ -44,5 +70,14 @@ rt::TaskSet generate_task_set(const GenParams& params, Rng& rng);
 std::optional<core::ModeTaskSystem> build_system(const rt::TaskSet& ts,
                                                  const part::PackOptions& pack =
                                                      {});
+
+/// The random task set every generated-system study (E2b/E9b/E10b) draws:
+/// 12 tasks, total utilization 1.2, default mode mix. One recipe in one
+/// place so the studies stay comparable.
+rt::TaskSet study_task_set(Rng& rng);
+
+/// study_task_set packed worst-fit (the load-balancing heuristic the E10
+/// comparison shows dominating): the standard per-trial system.
+std::optional<core::ModeTaskSystem> study_system(Rng& rng);
 
 }  // namespace flexrt::gen

@@ -32,11 +32,24 @@ double min_quantum_fp(const rt::AnalysisContext& ctx, double period) {
 }
 
 double min_quantum_edf(const rt::AnalysisContext& ctx, double period) {
+  // On a condensed set this pairs each bucket's worst demand with its
+  // earliest time: quantum_for_point is decreasing in t and increasing in
+  // W, so the bucket's quantum dominates every deadline inside it.
   const std::vector<double>& points = ctx.deadline_points();
   const std::vector<double>& demand = ctx.edf_demand_at_points();
   double worst = 0.0;
   for (std::size_t k = 0; k < points.size(); ++k) {
     worst = std::max(worst, quantum_for_point(points[k], demand[k], period));
+  }
+  if (!ctx.dl_exact()) {
+    // QPA tail closure for the deadlines beyond the covered horizon H:
+    // dbf(t) <= U t + c there, so the smallest quantum whose linear supply
+    // (slope Q/P, delay P - Q) sits on the demand line at H *and* has slope
+    // >= U (Q >= U P) covers every later deadline too.
+    const double h = ctx.dl_horizon();
+    const double line = ctx.utilization() * h + ctx.dl_util_const();
+    worst = std::max({worst, quantum_for_point(h, line, period),
+                      ctx.utilization() * period});
   }
   return worst;
 }

@@ -29,6 +29,20 @@ MultiSlotSupply::MultiSlotSupply(double period, std::vector<Window> windows)
   for (std::size_t i = 1; i < windows_.size(); ++i) {
     max_gap_ = std::max(max_gap_, windows_[i].begin - windows_[i - 1].end);
   }
+  // Linear-floor delay: g(t) = t - value(t)/rate is periodic (value gains
+  // exactly rate*period per frame) and peaks where a window begins on some
+  // worst-start curve -- the right end of a plateau of the min-over-starts
+  // supply. Scanning those corner instants gives the exact smallest D with
+  // value(t) >= rate*(t - D). With uneven gaps this exceeds max_gap_.
+  for (std::size_t s = 0; s <= windows_.size(); ++s) {
+    const double start = s == 0 ? 0.0 : windows_[s - 1].end;
+    for (const Window& b : windows_) {
+      double t = b.begin - start;
+      if (t <= 0.0) t += period_;
+      floor_delay_ =
+          std::max(floor_delay_, t - value(t) * (period_ / total_usable_));
+    }
+  }
 }
 
 double MultiSlotSupply::supplied_between(double from, double to)
@@ -46,6 +60,45 @@ double MultiSlotSupply::cumulative(double x) const noexcept {
     within += std::min(rem, w.end) - w.begin;
   }
   return frames * total_usable_ + within;
+}
+
+double MultiSlotSupply::cumulative_inverse(double target) const noexcept {
+  if (target <= 0.0) return 0.0;
+  // Whole frames strictly below the target, then the residual inside the
+  // next frame. Both boundary tests snap in the *early* direction with the
+  // library's 1e-9 relative tolerance (ceil_ratio at frame multiples, the
+  // prefix comparison at window ends): a target an ulp past a plateau
+  // would otherwise jump a whole supply gap later, while landing on the
+  // plateau edge under-delivers by at most the tolerance -- the same
+  // convention as SlotSupply::inverse and every leq_tol consumer.
+  const auto frames = static_cast<double>(
+      std::max<std::int64_t>(ceil_ratio(target, total_usable_) - 1, 0));
+  const double rem = std::min(target - frames * total_usable_, total_usable_);
+  const double snap = 1e-9 * total_usable_;
+  double pref = 0.0;
+  for (const Window& w : windows_) {
+    const double len = w.end - w.begin;
+    if (pref + len >= rem - snap) {
+      return frames * period_ + w.begin + std::max(0.0, std::min(len, rem - pref));
+    }
+    pref += len;
+  }
+  // Unreachable for valid windows (rem <= total); keep a sane fallback.
+  return frames * period_ + windows_.back().end;
+}
+
+double MultiSlotSupply::inverse(double demand, double /*tolerance*/) const {
+  if (demand <= 0.0) return 0.0;
+  // value(t) = min over candidate starts s of S(s + t) - S(s) with S =
+  // cumulative and s in {0, window ends}; each per-start curve is
+  // non-decreasing, so the smallest t where the min reaches `demand` is the
+  // max over starts of the per-start inverse S^-1(S(s) + demand) - s.
+  double worst = cumulative_inverse(demand);  // start at 0
+  for (const Window& w : windows_) {
+    worst = std::max(worst,
+                     cumulative_inverse(cumulative(w.end) + demand) - w.end);
+  }
+  return worst;
 }
 
 double MultiSlotSupply::value(double t) const noexcept {

@@ -35,11 +35,33 @@ class MultiSlotSupply final : public SupplyFunction {
   /// Longest gap without supply (wrapping around the frame boundary).
   double delay() const noexcept override { return max_gap_; }
 
+  /// Exact linear-floor delay max_t (t - value(t)/rate): with uneven gaps
+  /// this exceeds max_gap_ (the floor must clear *every* plateau corner,
+  /// not just the longest gap), so the base-class default of delay() would
+  /// overstate the floor and break the QPA tail closure. Computed once at
+  /// construction over the plateau-corner candidates.
+  double floor_delay() const noexcept override { return floor_delay_; }
+
+  /// Closed form (tolerance unused): value() is the minimum of the
+  /// per-start cumulative curves over the candidate starts (each window
+  /// end, plus 0), so its pseudo-inverse is the maximum over those starts
+  /// of the inverted cumulative curve. For demands landing exactly on a
+  /// plateau level (whole multiples of the frame budget) this returns the
+  /// plateau edge, whose supply covers the demand within the library's
+  /// 1e-9 leq_tol regime; the strict bisection fallback can drift one gap
+  /// later there on ulp noise (per-start curves differ by rounding).
+  /// inverse_by_bisection remains the documented fallback and the
+  /// property-test oracle.
+  double inverse(double demand, double tolerance = 1e-9) const override;
+
   double period() const noexcept { return period_; }
   std::size_t num_windows() const noexcept { return windows_.size(); }
 
   /// Cumulative supply delivered in [0, x) when the pattern starts at 0.
   double cumulative(double x) const noexcept;
+
+  /// Smallest x with cumulative(x) >= target (0 for target <= 0).
+  double cumulative_inverse(double target) const noexcept;
 
  private:
   double supplied_between(double from, double to) const noexcept;
@@ -48,6 +70,7 @@ class MultiSlotSupply final : public SupplyFunction {
   std::vector<Window> windows_;
   double total_usable_ = 0.0;
   double max_gap_ = 0.0;
+  double floor_delay_ = 0.0;
 };
 
 /// Evenly spreads a total usable budget over `k` windows: window i of

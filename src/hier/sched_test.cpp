@@ -1,6 +1,7 @@
 #include "hier/sched_test.hpp"
 
 #include "common/math_util.hpp"
+#include "rt/deadline_bound.hpp"
 #include "rt/demand.hpp"
 #include "rt/sched_points.hpp"
 
@@ -60,10 +61,22 @@ bool edf_schedulable(const rt::AnalysisContext& ctx,
                      const SupplyFunction& supply) {
   if (ctx.empty()) return true;
   if (ctx.utilization() > supply.rate() + 1e-12) return false;
+  // On a condensed set, demand[k] is the demand at the bucket's latest
+  // deadline while points[k] is its earliest one -- a conservative pairing,
+  // so a pass here implies a pass of the full per-deadline test.
   const std::vector<double>& points = ctx.deadline_points();
   const std::vector<double>& demand = ctx.edf_demand_at_points();
   for (std::size_t k = 0; k < points.size(); ++k) {
     if (!leq_tol(demand[k], supply.value(points[k]))) return false;
+  }
+  if (!ctx.dl_exact()) {
+    // QPA tail closure: every deadline beyond the covered horizon passes
+    // automatically iff the demand line U t + c has dropped below the
+    // supply's guaranteed linear floor rate*(t - floor_delay()) by then.
+    const double tail = rt::qpa_horizon(ctx.utilization(),
+                                        ctx.dl_util_const(), supply.rate(),
+                                        supply.floor_delay());
+    if (!leq_tol(tail, ctx.dl_horizon())) return false;
   }
   return true;
 }

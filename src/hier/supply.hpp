@@ -6,8 +6,10 @@ namespace flexrt::hier {
 
 /// A supply function Z(t): the minimum amount of execution time a time
 /// partition is guaranteed to provide in *any* window of length t
-/// (paper Def. 1). Implementations must be non-decreasing, 0 at t<=0, and
-/// super-additively bounded by rate() * t.
+/// (paper Def. 1). Implementations must be non-decreasing, 0 at t<=0,
+/// super-additively bounded by rate() * t, and must satisfy the linear
+/// service floor Z(t) >= rate() * (t - floor_delay()) -- the QPA tail
+/// closure of the condensed EDF test (rt/deadline_bound.hpp) relies on it.
 class SupplyFunction {
  public:
   virtual ~SupplyFunction() = default;
@@ -20,6 +22,14 @@ class SupplyFunction {
 
   /// Service delay Delta: the largest t with Z(t) = 0 (for our shapes).
   virtual double delay() const noexcept = 0;
+
+  /// Delay of the guaranteed linear service floor: the smallest D with
+  /// Z(t) >= rate() * (t - D) for every t. For the single-gap shapes
+  /// (linear, slot, periodic resource) this equals delay() -- paper Eq. 3
+  /// -- which is the default; shapes whose no-supply gaps are uneven
+  /// (MultiSlotSupply) must override it, since their floor sits strictly
+  /// right of the longest gap.
+  virtual double floor_delay() const noexcept { return delay(); }
 
   /// Pseudo-inverse: the smallest t with Z(t) >= demand (0 for demand <= 0).
   /// Every shape shipped with the library overrides this with an exact

@@ -63,12 +63,20 @@ std::vector<double> edf_demand_curve(const TaskSet& ts,
 }
 
 AnalysisContext::AnalysisContext(TaskSet ts, double horizon)
-    : ts_(std::move(ts)), horizon_(horizon), utilization_(ts_.utilization()) {}
+    : AnalysisContext(std::move(ts),
+                      DlBoundOptions{horizon, DlBoundOptions{}.max_points}) {}
+
+AnalysisContext::AnalysisContext(TaskSet ts, const DlBoundOptions& dl_opts)
+    : ts_(std::move(ts)),
+      dl_opts_(dl_opts),
+      utilization_(ts_.utilization()) {}
 
 void AnalysisContext::ensure_edf() const {
   std::call_once(edf_once_, [this] {
-    dl_points_ = deadline_set(ts_, horizon_);
-    edf_demand_ = edf_demand_curve(ts_, dl_points_);
+    dl_ = bounded_deadline_set(ts_, dl_opts_);
+    // dl_.ends is empty when nothing was coalesced (== times).
+    edf_demand_ =
+        edf_demand_curve(ts_, dl_.ends.empty() ? dl_.times : dl_.ends);
   });
 }
 
@@ -88,7 +96,12 @@ void AnalysisContext::ensure_fp() const {
 
 const std::vector<double>& AnalysisContext::deadline_points() const {
   ensure_edf();
-  return dl_points_;
+  return dl_.times;
+}
+
+const std::vector<double>& AnalysisContext::deadline_bucket_ends() const {
+  ensure_edf();
+  return dl_.ends.empty() ? dl_.times : dl_.ends;
 }
 
 const std::vector<double>& AnalysisContext::edf_demand_at_points() const {
@@ -96,19 +109,38 @@ const std::vector<double>& AnalysisContext::edf_demand_at_points() const {
   return edf_demand_;
 }
 
+bool AnalysisContext::dl_exact() const {
+  ensure_edf();
+  return dl_.exact;
+}
+
+double AnalysisContext::dl_horizon() const {
+  ensure_edf();
+  return dl_.horizon;
+}
+
+double AnalysisContext::dl_util_const() const {
+  ensure_edf();
+  return dl_.util_const;
+}
+
 std::vector<double> AnalysisContext::edf_point_jobs(std::size_t i) const {
   FLEXRT_REQUIRE(i < ts_.size(), "task index out of range");
   ensure_edf();
   const Task& task = ts_[i];
-  std::vector<double> row(dl_points_.size(), 0.0);
+  // Jobs are counted at the bucket ends -- the same times the cached demand
+  // curve is evaluated at -- so scaled-demand probes stay conservative on
+  // condensed sets and exact on full ones.
+  const std::vector<double>& points = dl_.ends.empty() ? dl_.times : dl_.ends;
+  std::vector<double> row(points.size(), 0.0);
   // Pointer walk over the task's own deadline events: O(points + jobs)
   // instead of a floor_ratio division per point. Events carry the same
   // relative snap window as demand_events() above.
   std::int64_t jobs = 0;
   double next =
       task.deadline - kSnapTol * task.period;  // event 0, ratio 1
-  for (std::size_t k = 0; k < dl_points_.size(); ++k) {
-    while (next <= dl_points_[k]) {
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    while (next <= points[k]) {
       ++jobs;
       next = task.deadline + static_cast<double>(jobs) * task.period -
              kSnapTol * static_cast<double>(jobs + 1) * task.period;

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "rt/deadline_bound.hpp"
 #include "rt/task_set.hpp"
 
 namespace flexrt::rt {
@@ -29,15 +30,23 @@ std::vector<double> edf_demand_curve(const TaskSet& ts,
 /// with only the supply function evaluated fresh.
 ///
 /// FP caches require the set sorted by decreasing priority (as everywhere
-/// else in the library); EDF caches require an exact hyperperiod unless an
-/// explicit `horizon` is given. Each side is materialized lazily on first
-/// use -- an FP-only caller never pays for (or requires) the hyperperiod.
-/// Thread-safe: concurrent readers may share one const context.
+/// else in the library). The EDF side works on the QPA-bounded/condensed
+/// deadline set (rt/deadline_bound.hpp): dl_exact() reports whether it is
+/// the full dlSet (probes are then exact) or a condensed safe
+/// over-approximation whose consumers must add the tail closure (see
+/// hier::edf_schedulable / hier::min_quantum). Each side is materialized
+/// lazily on first use -- an FP-only caller never pays for (or requires)
+/// the hyperperiod. Thread-safe: concurrent readers may share one const
+/// context.
 class AnalysisContext {
  public:
   /// Takes ownership of a snapshot of the task set. `horizon` bounds the
-  /// EDF deadline set (<= 0 means the hyperperiod, as in deadline_set()).
+  /// EDF deadline set (<= 0 means the hyperperiod, as in deadline_set());
+  /// the default DlBoundOptions point budget applies either way.
   explicit AnalysisContext(TaskSet ts, double horizon = 0.0);
+
+  /// Full control over the deadline-set bounding/condensation.
+  AnalysisContext(TaskSet ts, const DlBoundOptions& dl_opts);
 
   const TaskSet& tasks() const noexcept { return ts_; }
   std::size_t size() const noexcept { return ts_.size(); }
@@ -46,15 +55,32 @@ class AnalysisContext {
 
   // --- EDF side -----------------------------------------------------------
 
-  /// dlSet(T) up to the horizon (== rt::deadline_set).
+  /// Bounded/condensed dlSet(T): the conservative test times (bucket
+  /// starts). Equals rt::deadline_set(ts) whenever dl_exact() is true.
   const std::vector<double>& deadline_points() const;
 
-  /// EDF demand at each deadline point (== edf_demand at each point),
-  /// computed by the event sweep.
+  /// Latest deadline of each bucket; demand is evaluated here. Identical to
+  /// deadline_points() when dl_exact() is true.
+  const std::vector<double>& deadline_bucket_ends() const;
+
+  /// EDF demand at each bucket end (== edf_demand at each point when
+  /// exact), computed by the event sweep.
   const std::vector<double>& edf_demand_at_points() const;
 
+  /// True iff deadline_points() is the full dlSet up to the hyperperiod.
+  /// When false, consumers must close the tail beyond dl_horizon() with the
+  /// QPA bound (rt::qpa_horizon) to stay safe.
+  bool dl_exact() const;
+
+  /// Horizon covered by deadline_points().
+  double dl_horizon() const;
+
+  /// Intercept c of the demand-bound line: dbf(t) <= U t + c for t >= 0.
+  double dl_util_const() const;
+
   /// Job count of task i contributing to the demand at each deadline point:
-  /// row[k] = max(0, floor((t_k + T_i - D_i)/T_i)). The per-task demand
+  /// row[k] = max(0, floor((t_k + T_i - D_i)/T_i)) evaluated at the bucket
+  /// end t_k (conservative for condensed sets). The per-task demand
   /// contribution at t_k is row[k] * C_i; sensitivity probes scale it in
   /// place instead of rebuilding the task set.
   std::vector<double> edf_point_jobs(std::size_t i) const;
@@ -76,11 +102,11 @@ class AnalysisContext {
   void ensure_fp() const;
 
   TaskSet ts_;
-  double horizon_;
+  DlBoundOptions dl_opts_;
   double utilization_ = 0.0;
 
   mutable std::once_flag edf_once_;
-  mutable std::vector<double> dl_points_;
+  mutable BoundedDeadlineSet dl_;
   mutable std::vector<double> edf_demand_;
 
   mutable std::once_flag fp_once_;

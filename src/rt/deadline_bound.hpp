@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+
+/// Options bounding and condensing the EDF deadline set dlSet(T).
+///
+/// The full dlSet enumerates every absolute deadline d = D_i + k*T_i up to
+/// the hyperperiod, which explodes for co-prime-ish period mixes (the
+/// hyperperiod of 10^3 tasks with periods on a fine grid easily exceeds any
+/// representable time). The bounded set applies two QPA-style reductions
+/// (Zhang & Burns, "Schedulability Analysis for Real-Time Systems with EDF
+/// Scheduling", IEEE TC 2009) adapted to the partition-supply setting:
+///
+///  1. Horizon truncation: deadlines are only enumerated up to
+///     min(hyperperiod, explicit horizon, budget-derived horizon). The
+///     analytic tail closure in qpa_horizon()/the minQ tail quantum covers
+///     every t beyond it.
+///  2. Coalescing: when the surviving points still exceed `max_points`,
+///     adjacent deadlines are merged into buckets tested conservatively
+///     (demand of the latest deadline in the bucket against supply at the
+///     earliest), which keeps every downstream test a safe sufficient test.
+struct DlBoundOptions {
+  /// Explicit horizon; <= 0 means the hyperperiod. An explicit horizon is
+  /// enumerated as given (the caller owns that cost) and then coalesced to
+  /// the budget; the automatic one is pulled in to ~max_points events
+  /// first, so memory stays O(max_points) on any period spread.
+  double horizon = 0.0;
+  /// Budget on |dlSet|: points surviving past it are coalesced into
+  /// conservative buckets. 0 disables both reductions (full enumeration,
+  /// the pre-QPA behavior; requires a finite hyperperiod).
+  std::size_t max_points = 1u << 16;
+};
+
+/// The bounded/condensed deadline set plus the scalars the tail closure
+/// needs. When `exact` is true, `times == ends ==` the full dlSet(T) and
+/// every test over it is exact; otherwise tests over (times, ends) plus the
+/// QPA tail closure form a safe over-approximation (schedulable on the
+/// condensed set implies schedulable on the full one, never the reverse).
+struct BoundedDeadlineSet {
+  /// Test times, sorted ascending: the earliest deadline of each bucket
+  /// (supply is evaluated here -- the conservative side).
+  std::vector<double> times;
+  /// Latest deadline of each bucket (demand is evaluated here). Left EMPTY
+  /// when no coalescing happened, meaning "identical to times" -- the
+  /// common exact case would otherwise carry the full set twice.
+  std::vector<double> ends;
+  /// Horizon actually covered by `times`/`ends`.
+  double horizon = 0.0;
+  /// Full horizon the exact analysis would need: the hyperperiod, or
+  /// +infinity when it overflows / is not representable on the grid.
+  double full_horizon = 0.0;
+  /// True iff times cover the full horizon with one point per deadline.
+  bool exact = true;
+  /// U(T): total utilization.
+  double utilization = 0.0;
+  /// c = sum_i C_i (T_i - D_i) / T_i: the intercept of the demand-bound
+  /// line, dbf(t) <= U t + c for all t >= 0 (constrained deadlines).
+  double util_const = 0.0;
+};
+
+/// Builds the bounded/condensed deadline set. Deterministic: depends only on
+/// the task set and the options.
+BoundedDeadlineSet bounded_deadline_set(const TaskSet& ts,
+                                        const DlBoundOptions& opts = {});
+
+/// QPA horizon L* for a supply with linear floor Z(t) >= rate*(t - delay):
+/// the smallest L such that U t + c <= rate*(t - delay) for every t >= L,
+/// i.e. L* = (c + rate*delay) / (rate - utilization). Every deadline beyond
+/// L* passes the EDF test automatically, so checking dlSet up to L* plus the
+/// utilization condition U <= rate is a complete test. Returns +infinity
+/// when rate <= utilization (the lines never cross).
+double qpa_horizon(double utilization, double util_const, double rate,
+                   double delay) noexcept;
+
+}  // namespace flexrt::rt

@@ -22,4 +22,28 @@ namespace flexrt::rt {
 /// dropped).
 std::vector<double> scheduling_points(const TaskSet& ts, std::size_t i);
 
+// ---------------------------------------------------------------------------
+// Test-point sets and the QPA horizon (where the EDF points come from)
+// ---------------------------------------------------------------------------
+// FP probes use the per-task scheduling points above, whose size is bounded
+// by the priority structure alone. The EDF side instead tests dlSet(T) --
+// every absolute deadline D_i + k*T_i up to the hyperperiod -- which blows
+// up for co-prime-ish period mixes. rt/deadline_bound.hpp bounds it with the
+// Quick Processor-demand Analysis (QPA) horizon of Zhang & Burns (IEEE TC
+// 2009), generalized from the dedicated processor to a partition supply with
+// linear floor Z(t) >= alpha*(t - Delta):
+//
+//   dbf(t) <= U*t + c,   c = sum_i C_i (T_i - D_i) / T_i     (D_i <= T_i)
+//
+// so every deadline beyond  L* = (c + alpha*Delta) / (alpha - U)  satisfies
+// dbf(t) <= Z(t) automatically whenever alpha > U: the demand line has
+// dropped below the supply floor for good. Checking dlSet on (0, L*] plus
+// the utilization condition U <= alpha is therefore a complete test, and
+// with the supply unknown up front (minQ searches solve *for* alpha), the
+// same algebra run backwards yields the tail quantum: the smallest Q whose
+// linear supply at period P sits on the demand line at the covered horizon
+// H and has slope Q/P >= U covers every deadline past H. Coalescing
+// (demand at a bucket's last deadline tested against supply at its first)
+// keeps truncated sets safely over-approximate; see bounded_deadline_set().
+
 }  // namespace flexrt::rt

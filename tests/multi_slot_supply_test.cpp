@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace flexrt::hier {
 namespace {
@@ -96,6 +99,66 @@ TEST_P(SplitProperty, ValueAtFrameMultiplesEqualsBudget) {
       period, fraction * period, static_cast<std::size_t>(k));
   for (int m = 1; m <= 3; ++m) {
     EXPECT_NEAR(z.value(m * period), m * fraction * period, 1e-9);
+  }
+}
+
+TEST_P(SplitProperty, SatisfiesTheLinearServiceFloor) {
+  // value(t) >= rate * (t - floor_delay): the SupplyFunction contract the
+  // QPA tail closure (rt/deadline_bound.hpp) relies on. For even splits
+  // the floor delay coincides with the (single) gap.
+  const auto [period, fraction, k] = GetParam();
+  const MultiSlotSupply z = evenly_split_supply(
+      period, fraction * period, static_cast<std::size_t>(k));
+  EXPECT_NEAR(z.floor_delay(), z.delay(), 1e-9);
+  for (int i = 0; i <= 400; ++i) {
+    const double t = 3.0 * period * i / 400.0;
+    EXPECT_GE(z.value(t) + 1e-9, z.rate() * (t - z.floor_delay()))
+        << "t=" << t;
+  }
+}
+
+TEST(MultiSlotSupply, FloorDelayHandlesUnevenWindows) {
+  // Regression: with uneven gaps the max-gap delay() is NOT a valid linear
+  // floor -- here Z(9) = 0.05 < rate*(9 - max_gap) = 0.105 -- so
+  // floor_delay() must sit strictly right of the longest gap.
+  const MultiSlotSupply z(10.0, {{0.0, 1.0}, {9.0, 9.05}});
+  EXPECT_LT(z.value(9.0), z.rate() * (9.0 - z.delay()));  // delay() invalid
+  EXPECT_GT(z.floor_delay(), z.delay());
+  for (int i = 0; i <= 1000; ++i) {
+    const double t = 30.0 * i / 1000.0;
+    EXPECT_GE(z.value(t) + 1e-9, z.rate() * (t - z.floor_delay()))
+        << "t=" << t;
+  }
+  // Tightness: the floor touches the supply somewhere (smallest valid D).
+  double closest = 1e9;
+  for (int i = 0; i <= 5000; ++i) {
+    const double t = 30.0 * i / 5000.0;
+    closest = std::min(closest, z.value(t) - z.rate() * (t - z.floor_delay()));
+  }
+  EXPECT_NEAR(closest, 0.0, 1e-6);
+}
+
+TEST(MultiSlotSupply, FloorDelayRandomLayoutsStayValid) {
+  Rng rng(909);
+  for (int it = 0; it < 60; ++it) {
+    const double period = rng.uniform(2.0, 20.0);
+    std::vector<MultiSlotSupply::Window> windows;
+    double cursor = 0.0;
+    for (int w = 0; w < 4; ++w) {
+      const double room = period - cursor;
+      if (room < 0.2) break;
+      const double gap = rng.uniform(0.0, room * 0.5);
+      const double len = rng.uniform(0.02, std::max(0.021, room * 0.3));
+      windows.push_back({cursor + gap, cursor + gap + len});
+      cursor = windows.back().end;
+    }
+    if (windows.empty() || windows.back().end > period) continue;
+    const MultiSlotSupply z(period, std::move(windows));
+    for (int i = 0; i <= 300; ++i) {
+      const double t = 2.5 * period * i / 300.0;
+      EXPECT_GE(z.value(t) + 1e-9, z.rate() * (t - z.floor_delay()))
+          << "it=" << it << " t=" << t;
+    }
   }
 }
 

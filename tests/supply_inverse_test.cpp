@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "hier/multi_slot_supply.hpp"
 #include "hier/response_time.hpp"
 #include "hier/supply.hpp"
 
@@ -66,6 +67,72 @@ TEST(SupplyInverseProperty, PeriodicResourceMatchesBisection) {
     const double k = static_cast<double>(rng.uniform_int(1, 5));
     check_inverse(supply, k * budget);
   }
+}
+
+/// Multi-slot variant of check_inverse. At demands sitting exactly on a
+/// plateau level (whole multiples of the frame budget) the per-start curves
+/// differ by float noise, so the strict 1e-12 bisection can report the
+/// crossing one whole gap later than the plateau edge. The meaningful
+/// contract is: the closed form is never *later* than the strict answer,
+/// its supply covers the demand at the library's 1e-9 tolerance (the same
+/// leq_tol regime every schedulability consumer uses), and it is minimal.
+void check_multi_slot_inverse(const MultiSlotSupply& supply, double demand) {
+  const double closed = supply.inverse(demand);
+  const double bisect = supply.inverse_by_bisection(demand, 1e-12);
+  EXPECT_LE(closed, bisect + 1e-9 * (1.0 + 2.0 * std::abs(bisect)))
+      << "demand=" << demand << " rate=" << supply.rate()
+      << " delay=" << supply.delay();
+  EXPECT_GE(supply.value(closed), demand - 1e-9 * (1.0 + demand))
+      << "demand=" << demand;
+  if (closed > 1e-6) {
+    EXPECT_LT(supply.value(closed - 1e-6), demand + 1e-9)
+        << "inverse not minimal at demand=" << demand;
+  }
+}
+
+TEST(SupplyInverseProperty, MultiSlotSupplyMatchesBisection) {
+  // Even splits exercise the regular geometry...
+  Rng rng(7005);
+  for (int it = 0; it < 100; ++it) {
+    const double period = rng.uniform(1.0, 20.0);
+    const double usable = rng.uniform(0.1, 0.9) * period;
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    const MultiSlotSupply supply = evenly_split_supply(period, usable, k);
+    check_multi_slot_inverse(supply, rng.uniform(1e-3, 50.0));
+    const double mult = static_cast<double>(rng.uniform_int(1, 5));
+    check_multi_slot_inverse(supply, mult * usable);  // plateau edge
+  }
+  // ...irregular window layouts the uneven gaps.
+  for (int it = 0; it < 100; ++it) {
+    const double period = rng.uniform(2.0, 20.0);
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    std::vector<MultiSlotSupply::Window> windows;
+    double cursor = 0.0;
+    for (std::size_t w = 0; w < k; ++w) {
+      const double room = period - cursor;
+      if (room < 0.2) break;
+      const double gap = rng.uniform(0.0, room * 0.4);
+      const double len = rng.uniform(0.05, std::max(0.051, room * 0.3));
+      windows.push_back({cursor + gap, cursor + gap + len});
+      cursor = windows.back().end;
+    }
+    if (windows.empty() || windows.back().end > period) continue;
+    const MultiSlotSupply supply(period, std::move(windows));
+    check_multi_slot_inverse(supply, rng.uniform(1e-3, 40.0));
+  }
+}
+
+TEST(SupplyInverse, MultiSlotClosedFormIsMinimal) {
+  // Demand reached exactly at the end of a window followed by a gap: the
+  // inverse must land on the window end, not anywhere in the flat region.
+  const MultiSlotSupply supply(10.0, {{0.0, 1.0}, {5.0, 6.0}});
+  // Worst start is at a window end; one full window (1.0) of demand is
+  // first guaranteed after waiting out the longest gap plus the window.
+  EXPECT_NEAR(supply.inverse(1.0), 5.0, 1e-9);
+  EXPECT_NEAR(supply.value(supply.inverse(1.0)), 1.0, 1e-9);
+  // cumulative_inverse on frame multiples lands on the generating ramp end.
+  EXPECT_NEAR(supply.cumulative_inverse(2.0), 6.0, 1e-9);
+  EXPECT_NEAR(supply.cumulative_inverse(4.0), 16.0, 1e-9);
 }
 
 TEST(SupplyInverse, NonPositiveDemandIsZero) {

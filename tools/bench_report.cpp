@@ -5,21 +5,28 @@
 // output.
 //
 // Usage: bench_report [output.json]   (default: BENCH_micro.json)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "core/analysis_engine.hpp"
 #include "core/design.hpp"
+#include "core/integration.hpp"
 #include "core/paper_example.hpp"
+#include "core/study_runner.hpp"
 #include "gen/taskset_gen.hpp"
 #include "hier/min_quantum.hpp"
 #include "legacy_kernels.hpp"
 #include "rt/analysis_context.hpp"
+#include "rt/deadline_bound.hpp"
+#include "rt/demand.hpp"
 #include "rt/priority.hpp"
+#include "stress_workloads.hpp"
 
 namespace {
 
@@ -135,6 +142,86 @@ int main(int argc, char** argv) {
                     time_ns([&] {
                       return engine.sample_region(opts).back().margin;
                     })});
+  }
+
+  // --- large-n stress rows: the QPA-condensed dlSet at n = 1000 -----------
+  {
+    // Hyperperiod-hostile set: the full dlSet enumeration is intractable
+    // (co-prime-ish periods), so "legacy" here is the per-point O(n*points)
+    // demand kernel over the same condensed points -- the tightest baseline
+    // that still finishes -- vs the cached event-sweep context probe.
+    const rt::TaskSet stress = benchws::stress_set(1000);
+    const rt::AnalysisContext sctx(stress);
+    const std::vector<double>& spoints = sctx.deadline_points();
+    rows.push_back({"stress_minq_edf_n1000",
+                    time_ns([&] {
+                      double worst = 0.0;
+                      for (const double t : spoints) {
+                        worst = std::max(
+                            worst, hier::quantum_for_point(
+                                       t, rt::edf_demand(stress, t), 2.0));
+                      }
+                      return worst;
+                    }),
+                    time_ns([&] {
+                      return hier::min_quantum(sctx, hier::Scheduler::EDF,
+                                               2.0);
+                    })});
+
+    // Tractable twin (divisor-friendly period menu, hyperperiod 120): the
+    // real pre-refactor path runs, so the ratio is a true before/after.
+    const rt::TaskSet big = benchws::tractable_big_set(1000);
+    const rt::AnalysisContext bctx(big);
+    rows.push_back({"minq_edf_menu_n1000",
+                    time_ns([&] {
+                      return legacy::min_quantum(big, hier::Scheduler::EDF,
+                                                 2.0);
+                    }),
+                    time_ns([&] {
+                      return hier::min_quantum(bctx, hier::Scheduler::EDF,
+                                               2.0);
+                    })});
+  }
+
+  // --- sharded study driver: serial trials vs the parallel_for pool -------
+  // Near-linear scaling across FLEXRT_THREADS shows up as speedup ~=
+  // "threads" (both paths run identical per-trial work).
+  {
+    const auto trial = [](std::size_t, Rng& rng) {
+      gen::GenParams gp;
+      gp.num_tasks = 12;
+      gp.total_utilization = 1.1;
+      const rt::TaskSet ts = gen::generate_task_set(gp, rng);
+      const auto sys = gen::build_system(ts);
+      if (!sys) return 0.0;
+      core::SearchOptions opts;
+      opts.grid_step = 2e-2;
+      opts.p_max = 8.0;
+      try {
+        return core::max_feasible_period(*sys, hier::Scheduler::EDF, 0.05,
+                                         opts);
+      } catch (const InfeasibleError&) {
+        return 0.0;
+      }
+    };
+    core::StudyOptions study;
+    study.trials = 4 * par::thread_count();
+    rows.push_back(
+        {"study_trials_e10",
+         time_ns([&] {
+           double acc = 0.0;
+           for (std::size_t i = 0; i < study.trials; ++i) {
+             Rng rng = core::trial_rng(study.base_seed, i);
+             acc += trial(i, rng);
+           }
+           return acc;
+         }),
+         time_ns([&] {
+           const auto slice = core::run_study(study, trial);
+           double acc = 0.0;
+           for (const double p : slice.rows) acc += p;
+           return acc;
+         })});
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
