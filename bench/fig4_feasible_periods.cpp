@@ -9,15 +9,17 @@
 //   (5) largest feasible P under EDF with O_tot = 0.05       (paper: 2.966)
 //
 // With --gen-trials N it appends a generated-system region study on the
-// sharded study driver (core/study_runner.hpp): the P_max distribution of N
-// random systems under both schedulers. --shard k/N splits the trial range
-// across processes; per-shard sum/count rows merge by addition.
+// analysis service (svc/analysis_service.hpp): a fleet of N random systems
+// (AnalysisService::add_fleet keeps the per-trial seeds layout-independent)
+// probed by one G1 SolveRequest per scheduler. --shard k/N splits the trial
+// range across processes; per-shard sum/count rows merge by addition.
 //
 // Usage: fig4_feasible_periods [--csv] [--step <dP>] [--gen-trials N]
 //                              [--seed S] [--shard k/N]
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -25,39 +27,9 @@
 #include "core/paper_example.hpp"
 #include "core/study_runner.hpp"
 #include "gen/taskset_gen.hpp"
+#include "svc/analysis_service.hpp"
 
 using namespace flexrt;
-
-namespace {
-
-/// P_max of one random system under both schedulers (-1 = infeasible or
-/// packing failure).
-struct TrialRow {
-  double p_max_edf = -1.0;
-  double p_max_rm = -1.0;
-};
-
-TrialRow random_trial(Rng& rng) {
-  const auto sys = gen::study_system(rng);
-  TrialRow row;
-  if (!sys) return row;
-  core::SearchOptions opts;
-  opts.grid_step = 5e-3;
-  opts.p_max = 10.0;
-  try {
-    row.p_max_edf =
-        core::max_feasible_period(*sys, hier::Scheduler::EDF, 0.05, opts);
-  } catch (const InfeasibleError&) {
-  }
-  try {
-    row.p_max_rm =
-        core::max_feasible_period(*sys, hier::Scheduler::FP, 0.05, opts);
-  } catch (const InfeasibleError&) {
-  }
-  return row;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   bool csv = false;
@@ -65,13 +37,18 @@ int main(int argc, char** argv) {
   core::StudyOptions study;
   study.trials = 0;  // generated part is opt-in (--gen-trials)
   study.base_seed = 0xF16;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc) {
-      step = std::stod(argv[++i]);
-      continue;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+      if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc) {
+        step = std::stod(argv[++i]);
+        continue;
+      }
+      core::parse_study_flag(study, argc, argv, i, "--gen-trials");
     }
-    core::parse_study_flag(study, argc, argv, i, "--gen-trials");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
   if (study.shard.index != 0 && study.trials == 0) {
     std::cout << "nothing to do: non-lead shard without --gen-trials\n";
@@ -122,27 +99,35 @@ int main(int argc, char** argv) {
   }  // lead shard
 
   if (study.trials > 0) {
-    const auto slice = core::run_study(
-        study, [](std::size_t, Rng& rng) { return random_trial(rng); });
+    svc::AnalysisService service;
+    service.add_fleet(study, [](std::size_t, Rng& rng) {
+      return gen::study_system(rng);
+    });
+    core::SearchOptions opts;
+    opts.grid_step = 5e-3;
+    opts.p_max = 10.0;
+    const core::Overheads ov{0.05, 0.0, 0.0};
+    const auto [begin, end] = core::shard_range(study.trials, study.shard);
     std::cout << "\nE2b: generated systems, P_max distribution (trials "
-              << slice.begin << ".." << slice.begin + slice.rows.size()
-              << " of " << study.trials << ", shard "
+              << begin << ".." << end << " of " << study.trials << ", shard "
               << study.shard.index + 1 << "/" << study.shard.count
               << ", O_tot = 0.05)\n\n";
     Table gen_t({"scheduler", "trials", "feasible", "sum_P_max",
                  "mean_P_max"});
     for (const bool edf : {true, false}) {
+      const std::vector<svc::SolveResult> results = service.solve(
+          {edf ? hier::Scheduler::EDF : hier::Scheduler::FP, ov,
+           core::DesignGoal::MinOverheadBandwidth, opts, {}});
       std::size_t feasible = 0;
       double sum_p = 0.0;
-      for (const TrialRow& row : slice.rows) {
-        const double p = edf ? row.p_max_edf : row.p_max_rm;
-        if (p < 0.0) continue;
+      for (const svc::SolveResult& r : results) {
+        if (!r.ok() || !r.feasible) continue;
         feasible++;
-        sum_p += p;
+        sum_p += r.design.schedule.period;
       }
       gen_t.row()
           .cell(edf ? "EDF" : "RM")
-          .cell(slice.rows.size())
+          .cell(results.size())
           .cell(feasible)
           .cell(sum_p, 3)
           .cell(feasible ? sum_p / static_cast<double>(feasible) : 0.0, 3);

@@ -9,8 +9,12 @@
 // are built once, not once per O_tot point.
 //
 // With --gen-trials N the bench adds a generated-system acceptance study on
-// the sharded study driver: N random systems, each solved across the O_tot
-// menu, reporting the fraction that stays feasible per overhead level.
+// the analysis service (svc/analysis_service.hpp): a fleet of N random
+// systems (per-trial seeds layout-independent via add_fleet), solved by one
+// fleet-wide G1 SolveRequest per (scheduler, O_tot) point of the menu. The
+// service's engine cache keys on (system, scheduler, budget), so all nine
+// overhead levels of a scheduler reuse each system's per-partition caches
+// -- the same reuse the per-trial BatchEngine loop used to hand-roll.
 // Shard rows (counts) merge by addition across --shard k/N processes.
 //
 // Usage: overhead_sensitivity [--csv] [--gen-trials N] [--seed S]
@@ -18,6 +22,7 @@
 #include <array>
 #include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -26,6 +31,7 @@
 #include "core/paper_example.hpp"
 #include "core/study_runner.hpp"
 #include "gen/taskset_gen.hpp"
+#include "svc/analysis_service.hpp"
 
 using namespace flexrt;
 
@@ -34,40 +40,6 @@ namespace {
 constexpr std::array<double, 9> kOverheadMenu = {
     0.0, 0.01, 0.02, 0.05, 0.08, 0.12, 0.16, 0.20, 0.25};
 
-/// Which overhead levels a random system survives (G1 solvable), per
-/// scheduler; index order matches kOverheadMenu.
-struct TrialRow {
-  std::array<bool, kOverheadMenu.size()> edf{};
-  std::array<bool, kOverheadMenu.size()> rm{};
-  bool packed = false;
-};
-
-TrialRow random_trial(Rng& rng) {
-  const auto sys = gen::study_system(rng);
-  TrialRow row;
-  if (!sys) return row;
-  row.packed = true;
-  for (const hier::Scheduler alg : {hier::Scheduler::EDF,
-                                    hier::Scheduler::FP}) {
-    const analysis::BatchEngine engine(*sys, alg);
-    core::SearchOptions opts;
-    opts.grid_step = 5e-3;
-    opts.p_max = 10.0;
-    for (std::size_t k = 0; k < kOverheadMenu.size(); ++k) {
-      const double o = kOverheadMenu[k];
-      bool ok = true;
-      try {
-        core::solve_design(engine, {o / 3, o / 3, o / 3},
-                           core::DesignGoal::MinOverheadBandwidth, opts);
-      } catch (const InfeasibleError&) {
-        ok = false;
-      }
-      (alg == hier::Scheduler::EDF ? row.edf : row.rm)[k] = ok;
-    }
-  }
-  return row;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -75,9 +47,14 @@ int main(int argc, char** argv) {
   core::StudyOptions study;
   study.trials = 0;  // generated part is opt-in (--gen-trials)
   study.base_seed = 0xE9;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    core::parse_study_flag(study, argc, argv, i, "--gen-trials");
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+      core::parse_study_flag(study, argc, argv, i, "--gen-trials");
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
   const core::ModeTaskSystem sys = core::paper_example();
 
@@ -122,27 +99,44 @@ int main(int argc, char** argv) {
   }
 
   if (study.trials > 0) {
-    const auto slice = core::run_study(
-        study, [](std::size_t, Rng& rng) { return random_trial(rng); });
+    svc::AnalysisService service;
+    service.add_fleet(study, [](std::size_t, Rng& rng) {
+      return gen::study_system(rng);
+    });
+    core::SearchOptions opts;
+    opts.grid_step = 5e-3;
+    opts.p_max = 10.0;
+    const auto [begin, end] = core::shard_range(study.trials, study.shard);
     std::cout << "\nE9b: generated systems, acceptance vs O_tot (trials "
-              << slice.begin << ".." << slice.begin + slice.rows.size()
-              << " of " << study.trials << ", shard "
+              << begin << ".." << end << " of " << study.trials << ", shard "
               << study.shard.index + 1 << "/" << study.shard.count << ")\n\n";
-    Table t({"O_tot", "trials", "packed", "feasible_EDF", "feasible_RM"});
+    // feasible[alg][k]: systems whose G1 design survives menu level k.
+    std::array<std::array<std::size_t, kOverheadMenu.size()>, 2> feasible{};
     std::size_t packed = 0;
-    for (const TrialRow& row : slice.rows) packed += row.packed ? 1 : 0;
-    for (std::size_t k = 0; k < kOverheadMenu.size(); ++k) {
-      std::size_t edf = 0, rm = 0;
-      for (const TrialRow& row : slice.rows) {
-        edf += row.edf[k] ? 1 : 0;
-        rm += row.rm[k] ? 1 : 0;
+    for (std::size_t i = 0; i < service.size(); ++i) {
+      packed += service.has_system(i) ? 1 : 0;
+    }
+    for (const hier::Scheduler alg : {hier::Scheduler::EDF,
+                                      hier::Scheduler::FP}) {
+      const std::size_t a = alg == hier::Scheduler::EDF ? 0 : 1;
+      for (std::size_t k = 0; k < kOverheadMenu.size(); ++k) {
+        const double o = kOverheadMenu[k];
+        const std::vector<svc::SolveResult> results = service.solve(
+            {alg, {o / 3, o / 3, o / 3},
+             core::DesignGoal::MinOverheadBandwidth, opts, {}});
+        for (const svc::SolveResult& r : results) {
+          feasible[a][k] += r.ok() && r.feasible ? 1 : 0;
+        }
       }
+    }
+    Table t({"O_tot", "trials", "packed", "feasible_EDF", "feasible_RM"});
+    for (std::size_t k = 0; k < kOverheadMenu.size(); ++k) {
       t.row()
           .cell(kOverheadMenu[k], 3)
-          .cell(slice.rows.size())
+          .cell(service.size())
           .cell(packed)
-          .cell(edf)
-          .cell(rm);
+          .cell(feasible[0][k])
+          .cell(feasible[1][k]);
     }
     csv ? t.print_csv(std::cout) : t.print(std::cout);
   }

@@ -6,18 +6,21 @@
 // heuristics, by the resulting maximal feasible period and slack bandwidth,
 // and repeats the comparison on random systems.
 //
-// The random-system part runs on the sharded study driver
-// (core/study_runner.hpp): trials are spread over the parallel_for worker
-// pool inside the process (FLEXRT_THREADS) and, with --shard k/N, over N
-// cooperating processes. Per-trial seeds depend only on (--seed, trial id),
-// so shard outputs are disjoint slices of one deterministic study and the
-// per-shard aggregate rows (sums + counts) merge by addition.
+// The random-system part runs on the analysis service
+// (svc/analysis_service.hpp): one fleet holding every (trial, heuristic)
+// packing -- generated with layout-independent per-trial seeds via
+// AnalysisService::add_fleet -- probed by two fleet-wide SolveRequests (G1
+// and G2). Entries are analysed across the parallel_for worker pool
+// (FLEXRT_THREADS) and, with --shard k/N, the trial range splits over N
+// cooperating processes; the per-shard aggregate rows (sums + counts)
+// merge by addition.
 //
 // Usage: partitioning_study [--csv] [--trials N] [--seed S] [--shard k/N]
 #include <array>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -26,6 +29,7 @@
 #include "core/paper_example.hpp"
 #include "core/study_runner.hpp"
 #include "gen/taskset_gen.hpp"
+#include "svc/analysis_service.hpp"
 
 using namespace flexrt;
 
@@ -58,25 +62,6 @@ Outcome evaluate(const core::ModeTaskSystem& sys, double o_tot) {
   return out;
 }
 
-/// One random trial: a single generated set evaluated under every
-/// heuristic, so the heuristics are compared on identical workloads.
-struct TrialRow {
-  std::array<Outcome, kHeuristics.size()> by_heuristic{};
-  std::array<bool, kHeuristics.size()> packed{};
-};
-
-TrialRow random_trial(double o_tot, Rng& rng) {
-  const rt::TaskSet ts = gen::study_task_set(rng);
-  TrialRow row;
-  for (std::size_t h = 0; h < kHeuristics.size(); ++h) {
-    const auto sys = gen::build_system(ts, {kHeuristics[h], true, 1.0});
-    if (!sys) continue;
-    row.packed[h] = true;
-    row.by_heuristic[h] = evaluate(*sys, o_tot);
-  }
-  return row;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -84,9 +69,14 @@ int main(int argc, char** argv) {
   core::StudyOptions study;
   study.trials = 100;
   study.base_seed = 0x9A57;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) csv = true;
-    core::parse_study_flag(study, argc, argv, i);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) csv = true;
+      core::parse_study_flag(study, argc, argv, i);
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
   const double o_tot = 0.05;
   const bool lead_shard = study.shard.index == 0;
@@ -116,13 +106,36 @@ int main(int argc, char** argv) {
     csv ? t1.print_csv(std::cout) : t1.print(std::cout);
   }
 
-  const auto slice = core::run_study(
-      study, [&](std::size_t, Rng& rng) { return random_trial(o_tot, rng); });
+  // E10b: one service fleet holding every (heuristic, trial) packing of the
+  // same per-trial task set -- identical workloads across heuristics, by
+  // the determinism of trial_rng -- probed by two fleet-wide requests.
+  svc::AnalysisService service;
+  std::array<std::size_t, kHeuristics.size()> first{};
+  for (std::size_t h = 0; h < kHeuristics.size(); ++h) {
+    first[h] = service.add_fleet(
+        study,
+        [h](std::size_t, Rng& rng) {
+          return gen::build_system(gen::study_task_set(rng),
+                                   {kHeuristics[h], true, 1.0});
+        },
+        std::string(to_string(kHeuristics[h])) + "_t");
+  }
+  core::SearchOptions opts;
+  opts.grid_step = 2e-3;
+  opts.p_max = 10.0;
+  const core::Overheads ov{o_tot, 0.0, 0.0};
+  const std::vector<svc::SolveResult> g1 = service.solve(
+      {hier::Scheduler::EDF, ov, core::DesignGoal::MinOverheadBandwidth, opts,
+       {}});
+  const std::vector<svc::SolveResult> g2 = service.solve(
+      {hier::Scheduler::EDF, ov, core::DesignGoal::MaxSlackBandwidth, opts,
+       {}});
 
+  const std::size_t per_heuristic = service.size() / kHeuristics.size();
+  const auto [begin, end] = core::shard_range(study.trials, study.shard);
   std::cout << "\nE10b: random systems, acceptance + mean P_max per "
-               "heuristic (trials " << slice.begin << ".."
-            << slice.begin + slice.rows.size() << " of " << study.trials
-            << ", shard " << study.shard.index + 1 << "/"
+               "heuristic (trials " << begin << ".." << end << " of "
+            << study.trials << ", shard " << study.shard.index + 1 << "/"
             << study.shard.count << ", seed 0x" << std::hex << study.base_seed
             << std::dec << ")\n\n";
   Table t2({"heuristic", "trials", "accepted", "sum_P_max", "sum_slack_bw",
@@ -130,15 +143,15 @@ int main(int argc, char** argv) {
   for (std::size_t h = 0; h < kHeuristics.size(); ++h) {
     int accepted = 0;
     double sum_p = 0.0, sum_s = 0.0;
-    for (const TrialRow& row : slice.rows) {
-      if (!row.packed[h] || !row.by_heuristic[h].feasible) continue;
+    for (std::size_t k = first[h]; k < first[h] + per_heuristic; ++k) {
+      if (!g1[k].ok() || !g1[k].feasible || !g2[k].feasible) continue;
       accepted++;
-      sum_p += row.by_heuristic[h].p_max;
-      sum_s += row.by_heuristic[h].slack_bw;
+      sum_p += g1[k].design.schedule.period;
+      sum_s += g2[k].design.schedule.slack_bandwidth();
     }
     t2.row()
         .cell(to_string(kHeuristics[h]))
-        .cell(static_cast<double>(slice.rows.size()), 0)
+        .cell(static_cast<double>(per_heuristic), 0)
         .cell(static_cast<double>(accepted), 0)
         .cell(sum_p, 3)
         .cell(sum_s, 3)

@@ -43,7 +43,7 @@ bool matches(const rt::Task& t, const std::string& name) {
 
 BatchEngine::BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg,
                          const rt::DlBoundOptions& dl_opts)
-    : alg_(alg), auto_p_max_(core::auto_period_bound(sys)) {
+    : alg_(alg), dl_opts_(dl_opts), auto_p_max_(core::auto_period_bound(sys)) {
   for (const rt::Mode mode : kAllModes) {
     for (const rt::TaskSet& ts : sys.partitions(mode)) {
       for (const rt::Task& t : ts) {
@@ -57,6 +57,14 @@ BatchEngine::BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg,
                                   std::move(ordered), dl_opts)});
     }
   }
+}
+
+bool BatchEngine::dl_exact() const {
+  if (alg_ == hier::Scheduler::FP) return true;
+  for (const Partition& part : parts_) {
+    if (!part.ctx->dl_exact()) return false;
+  }
+  return true;
 }
 
 core::SearchOptions BatchEngine::resolve(core::SearchOptions opts) const {

@@ -41,6 +41,19 @@ class BatchEngine {
 
   hier::Scheduler scheduler() const noexcept { return alg_; }
 
+  /// The deadline-set bounding options every partition context was built
+  /// with (provenance: the budget behind each answer).
+  const rt::DlBoundOptions& dl_options() const noexcept { return dl_opts_; }
+
+  /// True iff every probe so far was exact: under FP the Bini-Buttazzo
+  /// point sets are always complete, under EDF this asks each partition
+  /// whether its bounded deadline set covers the full hyperperiod. Calling
+  /// it materializes the EDF caches, so ask *after* probing (the answer is
+  /// the provenance of those probes). When false, answers are safe
+  /// over-approximations and an adaptive re-probe at a larger budget
+  /// (rt::next_budget_rung) can tighten them.
+  bool dl_exact() const;
+
   // --- period-side kernels (Eq. 15) --------------------------------------
 
   /// max over the mode's channels of minQ(T_k^i, alg, P); FP channels are
@@ -111,6 +124,7 @@ class BatchEngine {
                      double tolerance, bool base_feasible) const;
 
   hier::Scheduler alg_;
+  rt::DlBoundOptions dl_opts_;
   double auto_p_max_ = 0.0;
   bool mode_used_[3] = {false, false, false};
   std::vector<Partition> parts_;

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "core/analysis_engine.hpp"
+#include "svc/analysis_service.hpp"
 
 namespace flexrt::core {
 
@@ -15,10 +16,16 @@ const char* to_string(DesignGoal goal) noexcept {
 Design solve_design(const ModeTaskSystem& sys, hier::Scheduler alg,
                     const Overheads& overheads, DesignGoal goal,
                     const SearchOptions& opts) {
-  // One engine serves the period search and the three quantum queries:
-  // the per-partition caches built during the search are reused verbatim.
-  const analysis::BatchEngine engine(sys, alg);
-  return solve_design(engine, overheads, goal, opts);
+  // One-shot front over the analysis service: a one-entry fleet, one
+  // SolveRequest at the fixed default accuracy (bit-for-bit the direct
+  // engine path below, parity-tested). The service keeps one engine for
+  // the period search and the three quantum queries.
+  const svc::OneShotService s(sys);
+  const svc::SolveResult r =
+      s.service.solve_one(0, {alg, overheads, goal, opts, {}});
+  if (!r.ok()) throw ModelError(r.error);
+  if (!r.feasible) throw InfeasibleError(r.infeasible);
+  return r.design;
 }
 
 Design solve_design(const analysis::BatchEngine& engine,

@@ -1,40 +1,57 @@
 #include "core/sensitivity.hpp"
 
 #include "common/error.hpp"
-#include "core/analysis_engine.hpp"
+#include "svc/analysis_service.hpp"
 
 namespace flexrt::core {
 
-// All three entry points delegate to the batched analysis engine: a probe
-// at scale lambda tests  base_demand + (lambda - 1) * task_contribution
-// against the supply over cached points, so no ModeTaskSystem is ever
-// copied and no scheduling point or deadline set is re-derived during the
-// bisection. sensitivity_report additionally hoists the lambda = 1
-// feasibility check out of the per-task loop and runs the per-task margins
-// under par::parallel_for.
+// One-shot fronts over the analysis service (svc::AnalysisService): each
+// call wraps the system into a one-entry service and issues a
+// SensitivityRequest under the fixed default accuracy policy, which
+// reproduces the direct BatchEngine margins bit for bit. A probe at scale
+// lambda still tests  base_demand + (lambda - 1) * task_contribution
+// against the supply over cached points (see BatchEngine::ScaledProbe);
+// the service adds the fleet/accuracy front on top.
+
+using svc::OneShotService;
 
 double wcet_scale_margin(const ModeTaskSystem& sys,
                          const ModeSchedule& schedule, hier::Scheduler alg,
                          const std::string& task_name, double lambda_max,
                          double tolerance) {
   FLEXRT_REQUIRE(!task_name.empty(), "task name must be non-empty");
-  return analysis::BatchEngine(sys, alg)
-      .wcet_scale_margin(schedule, task_name, lambda_max, tolerance);
+  svc::SensitivityRequest req;
+  req.alg = alg;
+  req.schedule = schedule;
+  req.task = task_name;
+  req.lambda_max = lambda_max;
+  req.tolerance = tolerance;
+  const svc::SensitivityResult r =
+      OneShotService(sys).service.sensitivity_one(0, req);
+  if (!r.ok()) throw ModelError(r.error);
+  return r.margins.at(0).scale_margin;
 }
 
 std::vector<TaskMargin> sensitivity_report(const ModeTaskSystem& sys,
                                            const ModeSchedule& schedule,
                                            hier::Scheduler alg,
                                            double lambda_max) {
-  return analysis::BatchEngine(sys, alg)
-      .sensitivity_report(schedule, lambda_max);
+  svc::SensitivityRequest req;
+  req.alg = alg;
+  req.schedule = schedule;
+  req.include_global = false;
+  req.lambda_max = lambda_max;
+  svc::SensitivityResult r =
+      OneShotService(sys).service.sensitivity_one(0, req);
+  if (!r.ok()) throw ModelError(r.error);
+  return std::move(r.margins);
 }
 
 double global_scale_margin(const ModeTaskSystem& sys,
                            const ModeSchedule& schedule, hier::Scheduler alg,
                            double lambda_max, double tolerance) {
-  return analysis::BatchEngine(sys, alg)
-      .global_scale_margin(schedule, lambda_max, tolerance);
+  return OneShotService(sys).service.engine(0, alg).global_scale_margin(
+      schedule, lambda_max, tolerance);
 }
 
 }  // namespace flexrt::core

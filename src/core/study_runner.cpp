@@ -34,17 +34,32 @@ std::pair<std::size_t, std::size_t> shard_range(std::size_t trials,
   return {begin, begin + size};
 }
 
+namespace {
+
+/// Whole-token unsigned parse; throws ModelError on trailing garbage so a
+/// typo like "--trials abc" fails loudly instead of silently running a
+/// 0-trial study (same strictness as parse_shard).
+std::uint64_t parse_count(const char* flag, const char* text, int base) {
+  char* rest = nullptr;
+  const unsigned long long v = std::strtoull(text, &rest, base);
+  FLEXRT_REQUIRE(rest != text && *rest == '\0',
+                 std::string(flag) + ": bad value '" + text + "'");
+  return v;
+}
+
+}  // namespace
+
 bool parse_study_flag(StudyOptions& opts, int argc, char** argv, int& i,
                       const char* trials_flag) {
   const std::string arg = argv[i];
   const bool has_value = i + 1 < argc;
   if (arg == trials_flag && has_value) {
-    opts.trials = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr,
-                                                         10));
+    opts.trials =
+        static_cast<std::size_t>(parse_count(trials_flag, argv[++i], 10));
     return true;
   }
   if (arg == "--seed" && has_value) {
-    opts.base_seed = std::strtoull(argv[++i], nullptr, 0);
+    opts.base_seed = parse_count("--seed", argv[++i], 0);
     return true;
   }
   if (arg == "--shard" && has_value) {

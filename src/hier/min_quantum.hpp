@@ -37,11 +37,11 @@ double quantum_for_point(double t, double workload, double period) noexcept;
 /// monotone in Q~). Always <= min_quantum(); the gap is the price of the
 /// linear approximation (studied in experiment E4).
 double min_quantum_exact(const rt::TaskSet& ts, Scheduler alg, double period,
-                         double tolerance = 1e-9);
+                         double tolerance = kInverseTolerance);
 
 /// Cached variant of min_quantum_exact: each bisection probe on Q~ only
 /// evaluates the exact slot supply at the cached test points.
 double min_quantum_exact(const rt::AnalysisContext& ctx, Scheduler alg,
-                         double period, double tolerance = 1e-9);
+                         double period, double tolerance = kInverseTolerance);
 
 }  // namespace flexrt::hier

@@ -74,7 +74,7 @@ double MultiSlotSupply::cumulative_inverse(double target) const noexcept {
   const auto frames = static_cast<double>(
       std::max<std::int64_t>(ceil_ratio(target, total_usable_) - 1, 0));
   const double rem = std::min(target - frames * total_usable_, total_usable_);
-  const double snap = 1e-9 * total_usable_;
+  const double snap = kInverseTolerance * total_usable_;
   double pref = 0.0;
   for (const Window& w : windows_) {
     const double len = w.end - w.begin;

@@ -52,7 +52,7 @@ class MultiSlotSupply final : public SupplyFunction {
   /// later there on ulp noise (per-start curves differ by rounding).
   /// inverse_by_bisection remains the documented fallback and the
   /// property-test oracle.
-  double inverse(double demand, double tolerance = 1e-9) const override;
+  double inverse(double demand, double tolerance = kInverseTolerance) const override;
 
   double period() const noexcept { return period_; }
   std::size_t num_windows() const noexcept { return windows_.size(); }

@@ -14,7 +14,7 @@ namespace flexrt::hier {
 /// only applies to shapes that fall back to the generic bisection (see
 /// SupplyFunction::inverse_by_bisection). demand <= 0 yields 0.
 double supply_inverse(const SupplyFunction& supply, double demand,
-                      double tolerance = 1e-9);
+                      double tolerance = kInverseTolerance);
 
 /// Worst-case response time of task `i` of an FP-scheduled partition served
 /// by `supply`: the fixed point of

@@ -4,6 +4,14 @@
 
 namespace flexrt::hier {
 
+/// Default refinement tolerance of SupplyFunction::inverse (and of the
+/// bisection loops built on it, e.g. min_quantum_exact). The closed-form
+/// overrides ignore it; the bisection fallback refines to it. One named
+/// constant instead of a 1e-9 literal repeated across every override and
+/// call site -- it must match the library-wide 1e-9 snapping regime of
+/// math_util (leq_tol / floor_ratio), so change them together or not at all.
+inline constexpr double kInverseTolerance = 1e-9;
+
 /// A supply function Z(t): the minimum amount of execution time a time
 /// partition is guaranteed to provide in *any* window of length t
 /// (paper Def. 1). Implementations must be non-decreasing, 0 at t<=0,
@@ -38,7 +46,7 @@ class SupplyFunction {
   /// `tolerance`. This is the kernel inside every RTA fixed-point iterate,
   /// so exactness of the closed forms is property-tested against the
   /// fallback.
-  virtual double inverse(double demand, double tolerance = 1e-9) const;
+  virtual double inverse(double demand, double tolerance = kInverseTolerance) const;
 
   /// Generic pseudo-inverse by exponential bracketing + bisection. The
   /// bracket starts at [delay(), delay() + demand/rate()] -- Z is 0 up to
@@ -47,7 +55,7 @@ class SupplyFunction {
   /// search already excluded. Throws ModelError when the supply can never
   /// cover the demand. Exposed for tests and as the fallback for shapes
   /// with no closed form.
-  double inverse_by_bisection(double demand, double tolerance = 1e-9) const;
+  double inverse_by_bisection(double demand, double tolerance = kInverseTolerance) const;
 };
 
 /// Linear lower bound Z'(t) = max(0, alpha * (t - delta)) (paper Eq. 3).
@@ -62,7 +70,7 @@ class LinearSupply final : public SupplyFunction {
   double delay() const noexcept override { return delta_; }
 
   /// Exact: t = delta + demand/alpha (tolerance unused).
-  double inverse(double demand, double tolerance = 1e-9) const override;
+  double inverse(double demand, double tolerance = kInverseTolerance) const override;
 
  private:
   double alpha_;
@@ -86,7 +94,7 @@ class SlotSupply final : public SupplyFunction {
   /// Exact (tolerance unused): demand lands on the ramp of period
   /// j = ceil(demand/q) - 1, so t = demand + (j+1)(p - q). Throws
   /// ModelError when q = 0 and demand > 0.
-  double inverse(double demand, double tolerance = 1e-9) const override;
+  double inverse(double demand, double tolerance = kInverseTolerance) const override;
 
   double period() const noexcept { return period_; }
   double usable() const noexcept { return usable_; }
@@ -117,7 +125,7 @@ class PeriodicResource final : public SupplyFunction {
 
   /// Exact (tolerance unused): demand lands on the ramp of cycle
   /// k = ceil(demand/Theta) - 1, so t = demand + (k + 2)(Pi - Theta).
-  double inverse(double demand, double tolerance = 1e-9) const override;
+  double inverse(double demand, double tolerance = kInverseTolerance) const override;
 
  private:
   double period_;

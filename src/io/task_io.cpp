@@ -35,32 +35,58 @@ struct ParsedLine {
   std::optional<std::size_t> channel;
 };
 
+/// Parses `token` as a double; reports the offending token on failure.
+double parse_number(const std::string& token, const char* what, int line_no) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(token, &consumed);
+    if (consumed == token.size()) return v;
+  } catch (const std::exception&) {  // invalid_argument / out_of_range
+  }
+  fail(line_no, std::string("bad ") + what + " '" + token + "'");
+}
+
 std::optional<ParsedLine> parse_line(const std::string& raw, int line_no) {
+  // Tolerate CRLF files and stray trailing whitespace: everything after a
+  // '#' is comment, and '\r' (like '\t') is classic-locale whitespace, so
+  // the extraction below treats it as just another token separator.
   const std::string line = raw.substr(0, raw.find('#'));
   std::istringstream in(line);
-  std::string name;
-  if (!(in >> name)) return std::nullopt;  // blank / comment-only
+  std::vector<std::string> tokens;
+  for (std::string tok; in >> tok;) tokens.push_back(std::move(tok));
+  if (tokens.empty()) return std::nullopt;  // blank / comment-only
+  if (tokens.size() < 4) {
+    std::string got = tokens[0];
+    for (std::size_t k = 1; k < tokens.size(); ++k) got += ' ' + tokens[k];
+    fail(line_no,
+         "expected 'name C T [D] mode [channel]', got '" + got + "'");
+  }
 
-  double c = 0.0, t = 0.0;
-  if (!(in >> c >> t)) fail(line_no, "expected 'name C T [D] mode [channel]'");
+  const std::string& name = tokens[0];
+  const double c = parse_number(tokens[1], "WCET", line_no);
+  const double t = parse_number(tokens[2], "period", line_no);
 
-  // The next token is either D (a number) or the mode.
-  std::string token;
-  if (!(in >> token)) fail(line_no, "missing mode (FT/FS/NF)");
+  // tokens[3] is either D (a number) or the mode.
+  std::size_t next = 3;
   double d = t;
-  std::optional<rt::Mode> mode = parse_mode(token);
+  std::optional<rt::Mode> mode = parse_mode(tokens[next]);
   if (!mode) {
     try {
       std::size_t consumed = 0;
-      d = std::stod(token, &consumed);
-      if (consumed != token.size()) fail(line_no, "bad deadline '" + token + "'");
+      d = std::stod(tokens[next], &consumed);
+      if (consumed != tokens[next].size()) {
+        fail(line_no, "bad deadline '" + tokens[next] + "'");
+      }
     } catch (const std::invalid_argument&) {
-      fail(line_no, "expected deadline or mode, got '" + token + "'");
+      fail(line_no,
+           "expected deadline or mode (FT/FS/NF), got '" + tokens[next] + "'");
     }
-    if (!(in >> token)) fail(line_no, "missing mode (FT/FS/NF)");
-    mode = parse_mode(token);
-    if (!mode) fail(line_no, "unknown mode '" + token + "'");
+    ++next;
+    if (next >= tokens.size()) fail(line_no, "missing mode (FT/FS/NF)");
+    mode = parse_mode(tokens[next]);
+    if (!mode) fail(line_no, "unknown mode '" + tokens[next] + "'");
   }
+  ++next;
 
   ParsedLine out;
   try {
@@ -68,17 +94,26 @@ std::optional<ParsedLine> parse_line(const std::string& raw, int line_no) {
   } catch (const ModelError& e) {
     fail(line_no, e.what());
   }
-  long long channel = -1;
-  if (in >> channel) {
+  if (next < tokens.size()) {
+    long long channel = -1;
+    try {
+      std::size_t consumed = 0;
+      channel = std::stoll(tokens[next], &consumed, 10);
+      if (consumed != tokens[next].size()) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      fail(line_no, "bad channel '" + tokens[next] + "'");
+    }
     if (channel < 0 ||
         static_cast<std::size_t>(channel) >= core::num_channels(*mode)) {
       fail(line_no, "channel " + std::to_string(channel) +
                         " out of range for mode " + rt::to_string(*mode));
     }
     out.channel = static_cast<std::size_t>(channel);
+    ++next;
   }
-  std::string rest;
-  if (in >> rest) fail(line_no, "trailing token '" + rest + "'");
+  if (next < tokens.size()) {
+    fail(line_no, "trailing token '" + tokens[next] + "'");
+  }
   return out;
 }
 

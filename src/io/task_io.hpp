@@ -25,7 +25,9 @@ namespace flexrt::io {
 ///
 /// This is the input format of the flexrt_design command-line tool.
 
-/// Parses a task set; throws ModelError with a line number on bad input.
+/// Parses a task set; throws ModelError naming the line number AND the
+/// offending token on bad input. CRLF line endings and trailing whitespace
+/// are tolerated (files edited on Windows parse unchanged).
 rt::TaskSet parse_task_set(std::istream& in);
 rt::TaskSet parse_task_set_string(const std::string& text);
 

@@ -53,6 +53,10 @@ class AnalysisContext {
   bool empty() const noexcept { return ts_.empty(); }
   double utilization() const noexcept { return utilization_; }
 
+  /// The bounding/condensation options this context was built with (the
+  /// budget a re-probe at the next accuracy rung should double from).
+  const DlBoundOptions& dl_options() const noexcept { return dl_opts_; }
+
   // --- EDF side -----------------------------------------------------------
 
   /// Bounded/condensed dlSet(T): the conservative test times (bucket

@@ -24,6 +24,11 @@ namespace flexrt::rt {
 ///     adjacent deadlines are merged into buckets tested conservatively
 ///     (demand of the latest deadline in the bucket against supply at the
 ///     earliest), which keeps every downstream test a safe sufficient test.
+/// Default |dlSet| point budget (DlBoundOptions::max_points). Named so the
+/// adaptive-accuracy ladder (svc::AccuracyPolicy) and the provenance fields
+/// it reports can reference the library default instead of a magic number.
+inline constexpr std::size_t kDefaultDlPointBudget = 1u << 16;
+
 struct DlBoundOptions {
   /// Explicit horizon; <= 0 means the hyperperiod. An explicit horizon is
   /// enumerated as given (the caller owns that cost) and then coalesced to
@@ -33,8 +38,18 @@ struct DlBoundOptions {
   /// Budget on |dlSet|: points surviving past it are coalesced into
   /// conservative buckets. 0 disables both reductions (full enumeration,
   /// the pre-QPA behavior; requires a finite hyperperiod).
-  std::size_t max_points = 1u << 16;
+  std::size_t max_points = kDefaultDlPointBudget;
 };
+
+/// Next rung of the adaptive-accuracy budget ladder (svc::AccuracyPolicy):
+/// twice the point budget, saturating at `cap`. Growing the budget only
+/// refines the condensed set (more buckets over a longer horizon), so
+/// re-probing at the next rung never loses safety.
+constexpr std::size_t next_budget_rung(std::size_t budget,
+                                       std::size_t cap) noexcept {
+  const std::size_t base = budget ? budget : 1;
+  return base >= cap / 2 ? cap : base * 2;
+}
 
 /// The bounded/condensed deadline set plus the scalars the tail closure
 /// needs. When `exact` is true, `times == ends ==` the full dlSet(T) and

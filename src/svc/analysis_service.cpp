@@ -1,0 +1,351 @@
+#include "svc/analysis_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "gen/taskset_gen.hpp"
+
+namespace flexrt::svc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::size_t resolve_budget(std::size_t points) noexcept {
+  return points ? points : rt::kDefaultDlPointBudget;
+}
+
+/// Drives the accuracy ladder for one entry: probe at the initial budget,
+/// then (adaptive only) re-probe at doubled budgets until the answer is
+/// exact, stops moving (move <= tol), or the cap is reached. `move` returns
+/// the distance between consecutive answers; +inf means "not comparable,
+/// keep refining" (e.g. the feasibility verdict flipped).
+template <typename Value, typename EngineAt, typename Probe, typename Move>
+Value run_ladder(const EngineAt& engine_at, const AccuracyPolicy& pol,
+                 const Probe& probe, const Move& move, Provenance& prov) {
+  std::size_t budget = resolve_budget(pol.initial_points);
+  const std::size_t cap = std::max(budget, pol.max_points);
+  Value value{};
+  std::optional<Value> prev;
+  for (std::size_t round = 1;; ++round) {
+    const analysis::BatchEngine& eng = engine_at(budget);
+    value = probe(eng);
+    prov.probes = round;
+    prov.budget = budget;
+    prov.dl_exact = eng.dl_exact();
+    if (prov.dl_exact) {
+      prov.gap = 0.0;
+      break;
+    }
+    if (!pol.is_adaptive) {
+      prov.gap = std::nullopt;  // condensed one-shot: gap unknown
+      break;
+    }
+    if (prev) {
+      const double m = move(*prev, value);
+      prov.gap = std::isfinite(m) ? std::optional<double>(m) : std::nullopt;
+      if (m <= pol.tol) break;
+    }
+    if (budget >= cap) break;  // ladder exhausted; gap = last move (if any)
+    prev = std::move(value);
+    budget = rt::next_budget_rung(budget, cap);
+  }
+  return value;
+}
+
+double array_move(const std::array<double, 3>& a, const std::array<double, 3>& b) {
+  double m = 0.0;
+  for (std::size_t k = 0; k < a.size(); ++k) m = std::max(m, std::abs(a[k] - b[k]));
+  return m;
+}
+
+}  // namespace
+
+std::size_t AnalysisService::add_system(core::ModeTaskSystem sys,
+                                        std::string name) {
+  Entry e;
+  e.name = name.empty() ? "system" + std::to_string(entries_.size())
+                        : std::move(name);
+  e.system = std::move(sys);
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+std::size_t AnalysisService::add_task_set(const rt::TaskSet& ts,
+                                          std::string name,
+                                          const part::PackOptions& pack) {
+  std::optional<core::ModeTaskSystem> sys = gen::build_system(ts, pack);
+  if (!sys) {
+    throw InfeasibleError("task set does not pack onto the platform channels");
+  }
+  return add_system(std::move(*sys), std::move(name));
+}
+
+std::size_t AnalysisService::add_fleet(const core::StudyOptions& study,
+                                       const SystemFactory& make,
+                                       const std::string& prefix) {
+  FLEXRT_REQUIRE(static_cast<bool>(make), "fleet factory must be callable");
+  const auto [begin, end] = core::shard_range(study.trials, study.shard);
+  const std::size_t first = entries_.size();
+  for (std::size_t t = begin; t < end; ++t) {
+    Rng rng = core::trial_rng(study.base_seed, t);
+    Entry e;
+    e.name = prefix + std::to_string(t);
+    e.trial = t;
+    e.system = make(t, rng);
+    if (!e.system) e.error = "packing failed";
+    entries_.push_back(std::move(e));
+  }
+  return first;
+}
+
+const core::ModeTaskSystem& AnalysisService::system(std::size_t i) const {
+  const Entry& e = entries_.at(i);
+  FLEXRT_REQUIRE(e.system.has_value(),
+                 "entry " + e.name + " has no system: " + e.error);
+  return *e.system;
+}
+
+const analysis::BatchEngine& AnalysisService::engine(
+    std::size_t i, hier::Scheduler alg, std::size_t max_points) const {
+  const core::ModeTaskSystem& sys = system(i);  // validates the entry
+  const std::size_t budget = resolve_budget(max_points);
+  const EngineKey key{i, static_cast<int>(alg), budget};
+  {
+    std::scoped_lock lock(mu_);
+    const auto it = engines_.find(key);
+    if (it != engines_.end()) return *it->second;
+  }
+  // Construct outside the lock -- fleet requests hit this from every
+  // worker at once, and serializing the task-set snapshots would bottleneck
+  // the fan-out. A losing duplicate is simply discarded.
+  rt::DlBoundOptions opts;
+  opts.max_points = budget;
+  auto built = std::make_unique<analysis::BatchEngine>(sys, alg, opts);
+  std::scoped_lock lock(mu_);
+  const auto [it, inserted] = engines_.emplace(key, std::move(built));
+  return *it->second;
+}
+
+template <typename Result, typename Body>
+Result AnalysisService::run_entry(std::size_t i, Body&& body) const {
+  Result out;
+  const Entry& e = entries_.at(i);
+  out.system = i;
+  out.name = e.name;
+  out.trial = e.trial;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!e.system) {
+    out.error = e.error.empty() ? "entry has no system" : e.error;
+  } else {
+    try {
+      body(out);
+    } catch (const Error& err) {
+      out.error = err.what();
+    }
+  }
+  out.prov.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  return out;
+}
+
+SolveResult AnalysisService::solve_one(std::size_t i,
+                                       const SolveRequest& req) const {
+  return run_entry<SolveResult>(i, [&](SolveResult& out) {
+    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
+      return engine(i, req.alg, budget);
+    };
+    // The probed value is the designed schedule (nullopt: infeasible at
+    // this budget); the ladder compares consecutive periods.
+    using Value = std::optional<core::Design>;
+    std::string why;
+    const Value design = run_ladder<Value>(
+        engine_at, req.accuracy,
+        [&](const analysis::BatchEngine& eng) -> Value {
+          try {
+            return core::solve_design(eng, req.overheads, req.goal,
+                                      req.search);
+          } catch (const InfeasibleError& err) {
+            why = err.what();
+            return std::nullopt;
+          }
+        },
+        [](const Value& a, const Value& b) {
+          if (!a || !b) return kInf;  // verdict flipped / still infeasible
+          return std::abs(a->schedule.period - b->schedule.period);
+        },
+        out.prov);
+    out.feasible = design.has_value();
+    if (design) {
+      out.design = *design;
+    } else {
+      out.infeasible = why;
+    }
+  });
+}
+
+MinQuantumResult AnalysisService::min_quantum_one(
+    std::size_t i, const MinQuantumRequest& req) const {
+  return run_entry<MinQuantumResult>(i, [&](MinQuantumResult& out) {
+    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
+      return engine(i, req.alg, budget);
+    };
+    out.mode_quantum = run_ladder<std::array<double, 3>>(
+        engine_at, req.accuracy,
+        [&](const analysis::BatchEngine& eng) {
+          std::array<double, 3> q{};
+          for (std::size_t m = 0; m < core::kAllModes.size(); ++m) {
+            q[m] = eng.mode_min_quantum(core::kAllModes[m], req.period,
+                                        req.use_exact_supply);
+          }
+          return q;
+        },
+        array_move, out.prov);
+    out.margin = req.period - out.mode_quantum[0] - out.mode_quantum[1] -
+                 out.mode_quantum[2];
+  });
+}
+
+RegionSweepResult AnalysisService::region_sweep_one(
+    std::size_t i, const RegionSweepRequest& req) const {
+  return run_entry<RegionSweepResult>(i, [&](RegionSweepResult& out) {
+    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
+      return engine(i, req.alg, budget);
+    };
+    out.samples = run_ladder<std::vector<core::RegionSample>>(
+        engine_at, req.accuracy,
+        [&](const analysis::BatchEngine& eng) {
+          return eng.sample_region(req.search);
+        },
+        [](const std::vector<core::RegionSample>& a,
+           const std::vector<core::RegionSample>& b) {
+          if (a.size() != b.size()) return kInf;
+          double m = 0.0;
+          for (std::size_t k = 0; k < a.size(); ++k) {
+            m = std::max(m, std::abs(a[k].margin - b[k].margin));
+          }
+          return m;
+        },
+        out.prov);
+  });
+}
+
+SensitivityResult AnalysisService::sensitivity_one(
+    std::size_t i, const SensitivityRequest& req) const {
+  return run_entry<SensitivityResult>(i, [&](SensitivityResult& out) {
+    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
+      return engine(i, req.alg, budget);
+    };
+    using Value = std::pair<std::vector<core::TaskMargin>, double>;
+    const Value value = run_ladder<Value>(
+        engine_at, req.accuracy,
+        [&](const analysis::BatchEngine& eng) -> Value {
+          if (!req.task.empty()) {
+            core::TaskMargin row{req.task, rt::Mode::NF, 0.0,
+                                 eng.wcet_scale_margin(req.schedule, req.task,
+                                                       req.lambda_max,
+                                                       req.tolerance)};
+            // Fill mode/wcet from the fleet entry for a self-contained row.
+            for (const rt::Mode mode : core::kAllModes) {
+              for (const rt::TaskSet& ts : system(i).partitions(mode)) {
+                for (const rt::Task& t : ts) {
+                  if (t.name == req.task) {
+                    row.mode = t.mode;
+                    row.wcet = t.wcet;
+                  }
+                }
+              }
+            }
+            return {{row}, 0.0};
+          }
+          return {eng.sensitivity_report(req.schedule, req.lambda_max),
+                  req.include_global
+                      ? eng.global_scale_margin(req.schedule, req.lambda_max,
+                                                req.tolerance)
+                      : 0.0};
+        },
+        [](const Value& a, const Value& b) {
+          if (a.first.size() != b.first.size()) return kInf;
+          double m = std::abs(a.second - b.second);
+          for (std::size_t k = 0; k < a.first.size(); ++k) {
+            m = std::max(m, std::abs(a.first[k].scale_margin -
+                                     b.first[k].scale_margin));
+          }
+          return m;
+        },
+        out.prov);
+    out.margins = value.first;
+    out.global_margin = value.second;
+  });
+}
+
+VerifyResult AnalysisService::verify_one(std::size_t i,
+                                         const VerifyRequest& req) const {
+  return run_entry<VerifyResult>(i, [&](VerifyResult& out) {
+    // Hand-rolled ladder: a condensed "schedulable" is already safe and
+    // definitive, so adaptive accuracy only escalates a condensed "no".
+    std::size_t budget = resolve_budget(req.accuracy.initial_points);
+    const std::size_t cap = std::max(budget, req.accuracy.max_points);
+    for (std::size_t round = 1;; ++round) {
+      const analysis::BatchEngine& eng = engine(i, req.alg, budget);
+      out.schedulable = eng.verify(req.schedule, req.use_exact_supply);
+      out.prov.probes = round;
+      out.prov.budget = budget;
+      out.prov.dl_exact = eng.dl_exact();
+      if (out.schedulable || out.prov.dl_exact || !req.accuracy.is_adaptive ||
+          budget >= cap) {
+        break;
+      }
+      budget = rt::next_budget_rung(budget, cap);
+    }
+    out.prov.gap = (out.schedulable || out.prov.dl_exact)
+                       ? std::optional<double>(0.0)
+                       : std::nullopt;
+  });
+}
+
+std::vector<SolveResult> AnalysisService::solve(const SolveRequest& req) const {
+  std::vector<SolveResult> out(size());
+  par::parallel_for(size(), [&](std::size_t i) { out[i] = solve_one(i, req); });
+  return out;
+}
+
+std::vector<MinQuantumResult> AnalysisService::min_quantum(
+    const MinQuantumRequest& req) const {
+  std::vector<MinQuantumResult> out(size());
+  par::parallel_for(size(),
+                    [&](std::size_t i) { out[i] = min_quantum_one(i, req); });
+  return out;
+}
+
+std::vector<RegionSweepResult> AnalysisService::region_sweep(
+    const RegionSweepRequest& req) const {
+  std::vector<RegionSweepResult> out(size());
+  par::parallel_for(size(),
+                    [&](std::size_t i) { out[i] = region_sweep_one(i, req); });
+  return out;
+}
+
+std::vector<SensitivityResult> AnalysisService::sensitivity(
+    const SensitivityRequest& req) const {
+  std::vector<SensitivityResult> out(size());
+  par::parallel_for(size(),
+                    [&](std::size_t i) { out[i] = sensitivity_one(i, req); });
+  return out;
+}
+
+std::vector<VerifyResult> AnalysisService::verify(
+    const VerifyRequest& req) const {
+  std::vector<VerifyResult> out(size());
+  par::parallel_for(size(),
+                    [&](std::size_t i) { out[i] = verify_one(i, req); });
+  return out;
+}
+
+}  // namespace flexrt::svc

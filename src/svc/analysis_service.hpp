@@ -1,0 +1,304 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/analysis_engine.hpp"
+#include "core/design.hpp"
+#include "core/mode_system.hpp"
+#include "core/schedule.hpp"
+#include "core/sensitivity.hpp"
+#include "core/study_runner.hpp"
+#include "hier/sched_test.hpp"
+#include "part/bin_packing.hpp"
+#include "rt/deadline_bound.hpp"
+
+namespace flexrt::svc {
+
+/// The multi-system analysis service: the paper's methodology is
+/// fleet-shaped (every figure asks the same design question across many
+/// candidate systems), and this is the fleet-shaped front for it.
+///
+/// An AnalysisService holds a fleet of mode-task systems -- added directly,
+/// parsed from files, or generated as a sharded trial study -- and executes
+/// *typed requests* (SolveRequest, MinQuantumRequest, RegionSweepRequest,
+/// SensitivityRequest, VerifyRequest) against every system on the shared
+/// par::parallel_for pool. Results are typed structs that carry the answer
+/// plus *provenance*: whether the deadline-set analysis was exact, the
+/// dlSet point budget behind the answer, how many accuracy rounds ran, the
+/// measured over-approximation gap, and wall time.
+///
+/// Every request takes an AccuracyPolicy. `fixed` probes once at one
+/// budget (the default budget reproduces the BatchEngine/solve_design
+/// answers bit for bit -- parity-tested). `adaptive(tol)` starts from a
+/// small budget and re-probes with a doubled rt::DlBoundOptions budget
+/// until the answer moves by <= tol, the deadline sets become exact, or
+/// the budget cap is reached: the per-probe accuracy knob for
+/// hyperperiod-hostile systems where exactness is unaffordable.
+///
+/// The one-system free functions in core/integration.hpp,
+/// core/sensitivity.hpp and core::solve_design(sys, ...) are thin wrappers
+/// over a throwaway one-entry service. BatchEngine remains the per-system
+/// probe engine underneath; the service adds the fleet, the accuracy
+/// ladder, and an engine cache keyed by (system, scheduler, budget) so a
+/// request menu (e.g. an overhead sweep) reuses each system's caches.
+
+/// Per-request accuracy policy; default-constructed == fixed at the
+/// library-default dlSet budget (the bit-for-bit parity configuration).
+struct AccuracyPolicy {
+  /// One probe at `points` (0 = rt::kDefaultDlPointBudget).
+  static AccuracyPolicy fixed(std::size_t points = 0) noexcept {
+    AccuracyPolicy p;
+    p.initial_points = points;
+    return p;
+  }
+
+  /// Re-probe with a doubled budget until the answer moves <= `tol`
+  /// between consecutive rounds (or the analysis becomes exact, or
+  /// `max_points` is hit). `initial_points` seeds the ladder low so cheap
+  /// answers stay cheap.
+  static AccuracyPolicy adaptive(double tol,
+                                 std::size_t initial_points = 1u << 10,
+                                 std::size_t max_points = 1u << 20) noexcept {
+    AccuracyPolicy p;
+    p.is_adaptive = true;
+    p.tol = tol;
+    p.initial_points = initial_points;
+    p.max_points = max_points;
+    return p;
+  }
+
+  bool is_adaptive = false;
+  /// First (adaptive) / only (fixed) dlSet budget; 0 = library default.
+  std::size_t initial_points = 0;
+  /// Adaptive stop: answer moved <= tol between consecutive rounds.
+  double tol = 0.0;
+  /// Adaptive hard cap on the budget ladder.
+  std::size_t max_points = 1u << 20;
+};
+
+/// How an answer was obtained -- attached to every result.
+struct Provenance {
+  /// Final probe ran on exact (full-hyperperiod) deadline sets; FP-side
+  /// analyses are always exact. When false the answer is a safe
+  /// over-approximation.
+  bool dl_exact = true;
+  /// dlSet point budget of the final probe.
+  std::size_t budget = 0;
+  /// Number of accuracy rounds executed (1 under fixed).
+  std::size_t probes = 1;
+  /// Measured over-approximation gap: 0 when exact, the last inter-round
+  /// move when the adaptive ladder converged, nullopt when unknown (fixed
+  /// policy on a condensed set, or a one-round adaptive hit the cap).
+  std::optional<double> gap;
+  /// Wall time of this entry's request, milliseconds.
+  double wall_ms = 0.0;
+};
+
+inline constexpr std::size_t kNoTrial = static_cast<std::size_t>(-1);
+
+/// Fields shared by every result row.
+struct ResultBase {
+  std::size_t system = 0;      ///< entry index within the service fleet
+  std::string name;            ///< entry name (file, "trial<k>", ...)
+  std::size_t trial = kNoTrial;  ///< global trial id for generated entries
+  /// Non-empty when the request produced no answer for this entry
+  /// (generation/packing failed, or the model was rejected).
+  std::string error;
+  Provenance prov;
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+// --- requests -------------------------------------------------------------
+
+/// Solve the §3.3/§4 design problem (== core::solve_design).
+struct SolveRequest {
+  hier::Scheduler alg = hier::Scheduler::EDF;
+  core::Overheads overheads{};
+  core::DesignGoal goal = core::DesignGoal::MinOverheadBandwidth;
+  core::SearchOptions search{};
+  AccuracyPolicy accuracy{};
+};
+
+struct SolveResult : ResultBase {
+  bool feasible = false;
+  /// Why the design is infeasible (when ok() && !feasible).
+  std::string infeasible;
+  core::Design design{};  ///< valid iff feasible
+};
+
+/// Per-mode minimum quanta and the Eq. 15 margin at one period.
+struct MinQuantumRequest {
+  hier::Scheduler alg = hier::Scheduler::EDF;
+  double period = 1.0;
+  bool use_exact_supply = false;
+  AccuracyPolicy accuracy{};
+};
+
+struct MinQuantumResult : ResultBase {
+  /// minQ per mode, indexed FT, FS, NF (core::kAllModes order).
+  std::array<double, 3> mode_quantum{};
+  /// lhs(P) = P - sum of the quanta (== core::feasibility_margin).
+  double margin = 0.0;
+};
+
+/// The Figure-4 curve lhs(P) over a period grid (== core::sample_region).
+struct RegionSweepRequest {
+  hier::Scheduler alg = hier::Scheduler::EDF;
+  core::SearchOptions search{};
+  AccuracyPolicy accuracy{};
+};
+
+struct RegionSweepResult : ResultBase {
+  std::vector<core::RegionSample> samples;
+};
+
+/// WCET scale margins of a finished schedule (== core::sensitivity_report /
+/// wcet_scale_margin / global_scale_margin).
+struct SensitivityRequest {
+  hier::Scheduler alg = hier::Scheduler::EDF;
+  core::ModeSchedule schedule{};
+  /// Non-empty: only this task's margin (global margin is skipped).
+  std::string task;
+  /// Also compute the all-tasks-simultaneously margin (ignored for a
+  /// named task). Off when the caller only wants the per-task report.
+  bool include_global = true;
+  double lambda_max = 16.0;
+  double tolerance = 1e-4;  ///< bisection tolerance (named task / global)
+  AccuracyPolicy accuracy{};
+};
+
+struct SensitivityResult : ResultBase {
+  /// One row per task (system iteration order), or a single row for a
+  /// named task.
+  std::vector<core::TaskMargin> margins;
+  /// All-tasks-simultaneously margin; computed only when `task` is empty.
+  double global_margin = 0.0;
+};
+
+/// Eq. 12-14 schedulability of an explicit schedule (== BatchEngine::verify).
+/// Under adaptive accuracy a condensed "no" is re-probed at larger budgets
+/// (a condensed "yes" is already definitive).
+struct VerifyRequest {
+  hier::Scheduler alg = hier::Scheduler::EDF;
+  core::ModeSchedule schedule{};
+  bool use_exact_supply = false;
+  AccuracyPolicy accuracy{};
+};
+
+struct VerifyResult : ResultBase {
+  bool schedulable = false;
+};
+
+// --- the service ----------------------------------------------------------
+
+class AnalysisService {
+ public:
+  /// Builds one trial system (or nullopt when packing fails) -- the
+  /// per-trial recipe of a generated fleet. Must be deterministic in
+  /// (trial, rng), and rng comes from core::trial_rng, so fleets are
+  /// identical across shard layouts and thread counts.
+  using SystemFactory =
+      std::function<std::optional<core::ModeTaskSystem>(std::size_t trial,
+                                                        Rng& rng)>;
+
+  AnalysisService() = default;
+  AnalysisService(const AnalysisService&) = delete;
+  AnalysisService& operator=(const AnalysisService&) = delete;
+
+  /// Adds one system; returns its entry index.
+  std::size_t add_system(core::ModeTaskSystem sys, std::string name = {});
+
+  /// Packs a flat task set onto the platform channels (gen::build_system)
+  /// and adds it. Throws InfeasibleError when the packing fails.
+  std::size_t add_task_set(const rt::TaskSet& ts, std::string name = {},
+                           const part::PackOptions& pack = {});
+
+  /// Adds this shard's slice of a generated trial study: one entry per
+  /// global trial in shard_range(study.trials, study.shard), named
+  /// "<prefix><trial>", built by `make` with the layout-independent
+  /// trial_rng stream. Trials whose factory returns nullopt become
+  /// answer-less entries (results carry error "packing failed"), keeping
+  /// trial accounting intact across shards. Returns the first entry index.
+  std::size_t add_fleet(const core::StudyOptions& study,
+                        const SystemFactory& make,
+                        const std::string& prefix = "trial");
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  const std::string& name(std::size_t i) const { return entries_.at(i).name; }
+  /// Global trial id of a generated entry, kNoTrial otherwise.
+  std::size_t trial(std::size_t i) const { return entries_.at(i).trial; }
+  bool has_system(std::size_t i) const {
+    return entries_.at(i).system.has_value();
+  }
+  const core::ModeTaskSystem& system(std::size_t i) const;
+
+  // Fleet-wide execution: one result per entry, entry order, computed
+  // across the par::parallel_for pool.
+  std::vector<SolveResult> solve(const SolveRequest& req) const;
+  std::vector<MinQuantumResult> min_quantum(const MinQuantumRequest& req) const;
+  std::vector<RegionSweepResult> region_sweep(
+      const RegionSweepRequest& req) const;
+  std::vector<SensitivityResult> sensitivity(
+      const SensitivityRequest& req) const;
+  std::vector<VerifyResult> verify(const VerifyRequest& req) const;
+
+  // Single-entry execution (what the core:: wrappers use).
+  SolveResult solve_one(std::size_t i, const SolveRequest& req) const;
+  MinQuantumResult min_quantum_one(std::size_t i,
+                                   const MinQuantumRequest& req) const;
+  RegionSweepResult region_sweep_one(std::size_t i,
+                                     const RegionSweepRequest& req) const;
+  SensitivityResult sensitivity_one(std::size_t i,
+                                    const SensitivityRequest& req) const;
+  VerifyResult verify_one(std::size_t i, const VerifyRequest& req) const;
+
+  /// The cached per-(entry, scheduler, budget) probe engine -- the escape
+  /// hatch for engine-level probes the typed requests do not cover
+  /// (max_admissible_overhead, one-task margins, ...). `max_points` 0
+  /// means the library default budget. Engines are immutable and safe to
+  /// probe concurrently.
+  const analysis::BatchEngine& engine(std::size_t i, hier::Scheduler alg,
+                                      std::size_t max_points = 0) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::size_t trial = kNoTrial;
+    std::optional<core::ModeTaskSystem> system;
+    std::string error;  ///< why `system` is absent
+  };
+
+  /// (entry, scheduler, dlSet budget) -> engine.
+  using EngineKey = std::tuple<std::size_t, int, std::size_t>;
+
+  template <typename Result, typename Body>
+  Result run_entry(std::size_t i, Body&& body) const;
+
+  std::vector<Entry> entries_;
+  mutable std::mutex mu_;
+  mutable std::map<EngineKey, std::unique_ptr<analysis::BatchEngine>> engines_;
+};
+
+/// One-entry service around a single system: the helper behind the core::
+/// one-shot wrapper functions (integration/sensitivity/solve_design). The
+/// service is non-movable -- it owns a mutex-guarded engine cache -- hence
+/// this two-phase-construction wrapper instead of a factory returning by
+/// value.
+struct OneShotService {
+  explicit OneShotService(const core::ModeTaskSystem& sys) {
+    service.add_system(sys);
+  }
+  AnalysisService service;
+};
+
+}  // namespace flexrt::svc

@@ -1,0 +1,189 @@
+#include "svc/jsonl.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace flexrt::svc {
+namespace {
+
+std::string format_double(double v) {
+  // JSON has no inf/nan; the analysis layer uses +inf for "no feasible
+  // quantum", so map non-finite values to null at the row level.
+  std::array<char, 32> buf;
+  const auto [end, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  std::string out(buf.data(), end);
+  // Bare integers like "2" are valid JSON numbers; keep them as emitted so
+  // the round-trip stays byte-stable.
+  return out;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonRow::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\":";
+}
+
+JsonRow& JsonRow::field(std::string_view k, double v) {
+  if (!std::isfinite(v)) return null_field(k);
+  key(k);
+  body_ += format_double(v);
+  return *this;
+}
+
+JsonRow& JsonRow::field(std::string_view k, std::int64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonRow& JsonRow::field(std::string_view k, std::size_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonRow& JsonRow::field(std::string_view k, bool v) {
+  key(k);
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonRow& JsonRow::field(std::string_view k, std::string_view v) {
+  key(k);
+  body_ += '"';
+  body_ += json_escape(v);
+  body_ += '"';
+  return *this;
+}
+
+JsonRow& JsonRow::field(std::string_view k, std::span<const double> v) {
+  key(k);
+  body_ += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) body_ += ',';
+    body_ += std::isfinite(v[i]) ? format_double(v[i]) : std::string("null");
+  }
+  body_ += ']';
+  return *this;
+}
+
+JsonRow& JsonRow::null_field(std::string_view k) {
+  key(k);
+  body_ += "null";
+  return *this;
+}
+
+namespace {
+
+/// Position just past `"key":` at the top level of the row, or npos.
+std::size_t value_pos(std::string_view row, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  // Keys written by JsonRow always follow '{' or ','; checking the
+  // preceding character keeps a key name occurring inside a string value
+  // from matching.
+  std::size_t at = row.find(needle);
+  while (at != std::string_view::npos) {
+    if (at > 0 && (row[at - 1] == '{' || row[at - 1] == ',')) {
+      return at + needle.size();
+    }
+    at = row.find(needle, at + 1);
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+std::optional<double> json_number_field(std::string_view row,
+                                        std::string_view key) {
+  const std::size_t at = value_pos(row, key);
+  if (at == std::string_view::npos || at >= row.size()) return std::nullopt;
+  double out = 0.0;
+  const auto [end, ec] =
+      std::from_chars(row.data() + at, row.data() + row.size(), out);
+  if (ec != std::errc{} || end == row.data() + at) return std::nullopt;
+  return out;
+}
+
+std::optional<bool> json_bool_field(std::string_view row,
+                                    std::string_view key) {
+  const std::size_t at = value_pos(row, key);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string_view rest = row.substr(at);
+  if (rest.starts_with("true")) return true;
+  if (rest.starts_with("false")) return false;
+  return std::nullopt;
+}
+
+std::optional<std::string> json_string_field(std::string_view row,
+                                             std::string_view key) {
+  std::size_t at = value_pos(row, key);
+  if (at == std::string_view::npos || at >= row.size() || row[at] != '"') {
+    return std::nullopt;
+  }
+  ++at;
+  std::string out;
+  while (at < row.size() && row[at] != '"') {
+    if (row[at] == '\\' && at + 1 < row.size()) {
+      ++at;
+      switch (row[at]) {
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        default:
+          out += row[at];  // \" \\ \/ and (unsupported) \uXXXX verbatim
+      }
+    } else {
+      out += row[at];
+    }
+    ++at;
+  }
+  if (at >= row.size()) return std::nullopt;  // unterminated
+  return out;
+}
+
+}  // namespace flexrt::svc

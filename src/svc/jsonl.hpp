@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace flexrt::svc {
+
+/// Append-only writer for one flat JSON object -- the row format of the
+/// JSON-lines study/solve reports (see tools/README.md for the schema).
+///
+/// Doubles are rendered with shortest round-trip formatting (to_chars), so
+/// re-emitting a parsed value reproduces the byte sequence exactly; the
+/// shard-merge invariant (merged shard reports == unsharded report) depends
+/// on this. No nesting beyond one level of number arrays: rows stay
+/// greppable and the field scanner below stays trivial.
+class JsonRow {
+ public:
+  JsonRow& field(std::string_view key, double v);
+  JsonRow& field(std::string_view key, std::int64_t v);
+  JsonRow& field(std::string_view key, std::size_t v);
+  JsonRow& field(std::string_view key, bool v);
+  JsonRow& field(std::string_view key, std::string_view v);  ///< escaped
+  /// String-literal values would otherwise decay to the bool overload.
+  JsonRow& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  JsonRow& field(std::string_view key, std::span<const double> v);
+  JsonRow& null_field(std::string_view key);
+
+  /// The finished row, braces included (no trailing newline).
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+/// JSON string escaping (quotes excluded) for the writer above.
+std::string json_escape(std::string_view raw);
+
+/// Field scanners for rows *written by JsonRow*: flat objects whose keys
+/// are unique and unambiguous. Not a JSON parser -- they locate the quoted
+/// key at the top level and read the value token after the colon. Returns
+/// nullopt when the key is absent or the value has a different type.
+std::optional<double> json_number_field(std::string_view row,
+                                        std::string_view key);
+std::optional<bool> json_bool_field(std::string_view row,
+                                    std::string_view key);
+std::optional<std::string> json_string_field(std::string_view row,
+                                             std::string_view key);
+
+}  // namespace flexrt::svc

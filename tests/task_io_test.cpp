@@ -40,6 +40,39 @@ TEST(ParseTaskSet, ErrorsCarryLineNumbers) {
   }
 }
 
+TEST(ParseTaskSet, AcceptsCrlfAndTrailingWhitespace) {
+  const rt::TaskSet ts = parse_task_set_string(
+      "a 1 10 FT\r\n"
+      "b 2 20 15 FS \t\r\n"
+      "c 0.5 8 NF 2\r\n"  // pinned channel before the CR
+      "\r\n");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0].mode, rt::Mode::FT);
+  EXPECT_DOUBLE_EQ(ts[1].deadline, 15.0);
+  EXPECT_EQ(ts[2].mode, rt::Mode::NF);
+
+  const ParsedSystem p = parse_mode_task_system_string("c 0.5 8 NF 2\r\n");
+  EXPECT_EQ(p.system.partitions(rt::Mode::NF)[2].size(), 1u);
+}
+
+TEST(ParseTaskSet, ErrorsNameTheOffendingToken) {
+  const auto message_of = [](const char* text) {
+    try {
+      parse_task_set_string(text);
+    } catch (const ModelError& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message_of("a x7 10 FT\n").find("'x7'"), std::string::npos);
+  EXPECT_NE(message_of("a 1 1y0 FT\n").find("'1y0'"), std::string::npos);
+  EXPECT_NE(message_of("a 1 10 XX\n").find("'XX'"), std::string::npos);
+  EXPECT_NE(message_of("a 1 10 FT zz\n").find("'zz'"), std::string::npos);
+  EXPECT_NE(message_of("a 1 10 FT 0 junk\n").find("'junk'"),
+            std::string::npos);
+  EXPECT_NE(message_of("broken 1\n").find("'broken 1'"), std::string::npos);
+}
+
 TEST(ParseTaskSet, RejectsBadMode) {
   EXPECT_THROW(parse_task_set_string("a 1 10 XX\n"), ModelError);
 }

@@ -1,231 +1,768 @@
-// flexrt_design -- command-line front-end of the design methodology.
+// flexrt_design -- command-line front of the multi-system analysis service.
 //
-// Reads a task set (see src/io/task_io.hpp for the format), solves the
-// mode-switching frame for the requested goal, prints the design, and
-// optionally validates it in the discrete-event simulator.
+// The tool is subcommand-shaped around svc::AnalysisService: every
+// subcommand loads (or generates) a *fleet* of systems, issues one typed
+// request across it, and reports answers together with their provenance
+// (dl_exact, budget, probes, gap, wall_ms). With --jsonl the report is
+// machine-readable JSON-lines (schema in tools/README.md), which is what
+// makes sharded study outputs mergeable.
 //
 // Usage:
-//   flexrt_design <taskfile> [--alg edf|rm] [--goal min-overhead|max-slack]
-//                 [--overhead O_FT,O_FS,O_NF] [--simulate HORIZON]
-//                 [--fault-rate R] [--trace N] [--sensitivity]
-//                 [--response-times] [--csv]
+//   flexrt_design solve  <taskfile>... [--alg edf|rm]
+//                        [--goal min-overhead|max-slack]
+//                        [--overhead O_FT,O_FS,O_NF] [--adaptive TOL]
+//                        [--budget N] [--budget-cap N] [--jsonl] [--csv]
+//                        [--sensitivity] [--response-times]
+//                        [--simulate HORIZON] [--fault-rate R] [--trace N]
+//   flexrt_design sweep  <taskfile>... [--alg edf|rm] [--p-min P] [--p-max P]
+//                        [--step dP] [--adaptive TOL] [--budget N]
+//                        [--jsonl] [--csv]
+//   flexrt_design verify <taskfile>... --period P --quanta Q_FT,Q_FS,Q_NF
+//                        [--overhead O_FT,O_FS,O_NF] [--alg edf|rm]
+//                        [--exact-supply] [--adaptive TOL] [--budget N]
+//                        [--jsonl]
+//   flexrt_design study  [--trials N] [--seed S] [--shard k/N]
+//                        [--alg edf|rm] [--goal g] [--overhead a,b,c]
+//                        [--adaptive TOL] [--budget N] [--jsonl] [--csv]
+//   flexrt_design merge  <report.jsonl>...
 //
-// Exit status: 0 on success, 1 on infeasible design or simulated misses,
-// 2 on usage / input errors.
+// Legacy compatibility: `flexrt_design <taskfile> ...` (no subcommand) is
+// routed to `solve`.
+//
+// Exit status: 0 on success, 1 on infeasible design / failed verify /
+// simulated misses, 2 on usage or input errors.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/design.hpp"
-#include "core/sensitivity.hpp"
+#include "core/study_runner.hpp"
+#include "gen/taskset_gen.hpp"
 #include "hier/response_time.hpp"
 #include "io/task_io.hpp"
 #include "rt/priority.hpp"
 #include "sim/simulator.hpp"
+#include "svc/analysis_service.hpp"
+#include "svc/jsonl.hpp"
 
 using namespace flexrt;
 
 namespace {
 
-struct Args {
-  std::string file;
+int usage() {
+  std::cerr
+      << "usage: flexrt_design <subcommand> ...\n"
+         "  solve  <taskfile>... [--alg edf|rm] [--goal min-overhead|max-slack]\n"
+         "         [--overhead O_FT,O_FS,O_NF] [--adaptive TOL] [--budget N]\n"
+         "         [--budget-cap N] [--jsonl] [--csv] [--sensitivity]\n"
+         "         [--response-times] [--simulate HORIZON] [--fault-rate R]\n"
+         "         [--trace N]\n"
+         "  sweep  <taskfile>... [--alg edf|rm] [--p-min P] [--p-max P]\n"
+         "         [--step dP] [--adaptive TOL] [--budget N] [--jsonl] [--csv]\n"
+         "  verify <taskfile>... --period P --quanta Q_FT,Q_FS,Q_NF\n"
+         "         [--overhead O_FT,O_FS,O_NF] [--alg edf|rm] [--exact-supply]\n"
+         "         [--adaptive TOL] [--budget N] [--jsonl]\n"
+         "  study  [--trials N] [--seed S] [--shard k/N] [--alg edf|rm]\n"
+         "         [--goal g] [--overhead a,b,c] [--adaptive TOL] [--budget N]\n"
+         "         [--jsonl] [--csv]\n"
+         "  merge  <report.jsonl>...\n";
+  return 2;
+}
+
+bool parse_triple(const std::string& spec, double& a, double& b, double& c) {
+  std::istringstream in(spec);
+  char c1 = 0, c2 = 0;
+  return static_cast<bool>(in >> a >> c1 >> b >> c2 >> c) && c1 == ',' &&
+         c2 == ',';
+}
+
+/// Strict numeric flag values: the whole token must parse, so typos like
+/// "--budget 64k" or "--adaptive xyz" are input errors (exit 2), not
+/// silently truncated values or an uncaught std::invalid_argument.
+double parse_num(const char* flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos == v.size()) return out;
+  } catch (const std::exception&) {
+  }
+  throw ModelError(std::string(flag) + ": bad number '" + v + "'");
+}
+
+std::size_t parse_size(const char* flag, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long out = std::stoull(v, &pos, 10);
+    if (pos == v.size()) return static_cast<std::size_t>(out);
+  } catch (const std::exception&) {
+  }
+  throw ModelError(std::string(flag) + ": bad count '" + v + "'");
+}
+
+/// Re-exposes subcommand arguments in the argc/argv shape the shared flag
+/// parsers (parse_common_flag, core::parse_study_flag) consume.
+struct ArgVec {
+  explicit ArgVec(const std::vector<std::string>& args) : owned(args) {
+    for (std::string& s : owned) ptrs.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> owned;
+  std::vector<char*> ptrs;
+};
+
+/// Flags shared by every analysis subcommand. The accuracy knobs are kept
+/// as raw fields so --budget/--budget-cap/--adaptive compose in any flag
+/// order; accuracy() assembles the policy after parsing.
+struct CommonOpts {
+  std::vector<std::string> files;
   hier::Scheduler alg = hier::Scheduler::EDF;
   core::DesignGoal goal = core::DesignGoal::MinOverheadBandwidth;
   core::Overheads overheads{0.0, 0.0, 0.0};
+  double adaptive_tol = -1.0;  ///< >= 0: adaptive accuracy requested
+  std::size_t budget = 0;      ///< fixed budget / ladder seed; 0 = default
+  std::size_t budget_cap = 0;  ///< adaptive ladder cap; 0 = default
+  bool jsonl = false;
+  bool csv = false;
+
+  svc::AccuracyPolicy accuracy() const {
+    if (adaptive_tol < 0.0) return svc::AccuracyPolicy::fixed(budget);
+    svc::AccuracyPolicy p = svc::AccuracyPolicy::adaptive(adaptive_tol);
+    if (budget) p.initial_points = budget;
+    if (budget_cap) p.max_points = budget_cap;
+    return p;
+  }
+};
+
+/// Consumes one shared flag at argv[i]; returns -1 when the flag did not
+/// match, 0 on success, 2 on a malformed value.
+int parse_common_flag(CommonOpts& o, int argc, char** argv, int& i) {
+  const std::string a = argv[i];
+  const auto next = [&]() -> const char* {
+    return i + 1 < argc ? argv[++i] : nullptr;
+  };
+  if (a == "--alg") {
+    const char* v = next();
+    if (!v) return 2;
+    if (std::strcmp(v, "edf") == 0) {
+      o.alg = hier::Scheduler::EDF;
+    } else if (std::strcmp(v, "rm") == 0) {
+      o.alg = hier::Scheduler::FP;
+    } else {
+      return 2;
+    }
+    return 0;
+  }
+  if (a == "--goal") {
+    const char* v = next();
+    if (!v) return 2;
+    if (std::strcmp(v, "min-overhead") == 0) {
+      o.goal = core::DesignGoal::MinOverheadBandwidth;
+    } else if (std::strcmp(v, "max-slack") == 0) {
+      o.goal = core::DesignGoal::MaxSlackBandwidth;
+    } else {
+      return 2;
+    }
+    return 0;
+  }
+  if (a == "--overhead") {
+    const char* v = next();
+    if (!v ||
+        !parse_triple(v, o.overheads.ft, o.overheads.fs, o.overheads.nf)) {
+      return 2;
+    }
+    return 0;
+  }
+  if (a == "--adaptive") {
+    const char* v = next();
+    if (!v) return 2;
+    o.adaptive_tol = parse_num("--adaptive", v);
+    return 0;
+  }
+  if (a == "--budget") {
+    const char* v = next();
+    if (!v) return 2;
+    o.budget = parse_size("--budget", v);
+    return 0;
+  }
+  if (a == "--budget-cap") {
+    const char* v = next();
+    if (!v) return 2;
+    o.budget_cap = parse_size("--budget-cap", v);
+    return 0;
+  }
+  if (a == "--jsonl") {
+    o.jsonl = true;
+    return 0;
+  }
+  if (a == "--csv") {
+    o.csv = true;
+    return 0;
+  }
+  return -1;
+}
+
+/// Loads every file as one fleet entry (parse + channel packing).
+void load_fleet(svc::AnalysisService& service,
+                const std::vector<std::string>& files) {
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) throw ModelError("cannot open " + file);
+    service.add_system(io::parse_mode_task_system(in).system, file);
+  }
+}
+
+void provenance_fields(svc::JsonRow& row, const svc::Provenance& p,
+                       bool with_wall = true) {
+  row.field("dl_exact", p.dl_exact)
+      .field("budget", p.budget)
+      .field("probes", p.probes);
+  if (p.gap) {
+    row.field("gap", *p.gap);
+  } else {
+    row.null_field("gap");
+  }
+  if (with_wall) row.field("wall_ms", p.wall_ms);
+}
+
+std::string provenance_note(const svc::Provenance& p) {
+  std::ostringstream os;
+  os << (p.dl_exact ? "exact dlSet" : "condensed dlSet") << ", budget "
+     << p.budget << ", " << p.probes << (p.probes == 1 ? " probe" : " probes");
+  if (p.gap && !p.dl_exact) os << ", gap <= " << *p.gap;
+  return os.str();
+}
+
+const char* goal_flag(core::DesignGoal goal) {
+  return goal == core::DesignGoal::MinOverheadBandwidth ? "min-overhead"
+                                                        : "max-slack";
+}
+
+/// One study_trial JSON-lines row. Deliberately excludes wall_ms: study
+/// rows must be byte-identical across shard layouts so merged shard
+/// reports equal the unsharded run.
+std::string study_trial_row(const svc::SolveResult& r,
+                            const CommonOpts& opts) {
+  svc::JsonRow row;
+  row.field("kind", "study_trial")
+      .field("trial", r.trial)
+      .field("alg", to_string(opts.alg))
+      .field("goal", to_string(opts.goal))
+      .field("packed", r.ok());
+  if (!r.ok()) return row.str();
+  row.field("feasible", r.feasible);
+  if (r.feasible) {
+    row.field("period", r.design.schedule.period)
+        .field("q_ft", r.design.schedule.ft.usable)
+        .field("q_fs", r.design.schedule.fs.usable)
+        .field("q_nf", r.design.schedule.nf.usable)
+        .field("slack_bw", r.design.schedule.slack_bandwidth());
+  }
+  provenance_fields(row, r.prov, /*with_wall=*/false);
+  return row.str();
+}
+
+/// Parses the study_trial rows back (svc/jsonl field scanners) and renders
+/// the aggregate row. Both `study` and `merge` summarize by re-reading
+/// their own emitted rows, so the two reports agree byte for byte.
+std::string study_summary_row(const std::vector<std::string>& rows) {
+  std::size_t packed = 0, feasible = 0;
+  double sum_period = 0.0, sum_slack_bw = 0.0;
+  for (const std::string& r : rows) {
+    if (svc::json_bool_field(r, "packed").value_or(false)) ++packed;
+    if (svc::json_bool_field(r, "feasible").value_or(false)) {
+      ++feasible;
+      sum_period += svc::json_number_field(r, "period").value_or(0.0);
+      sum_slack_bw += svc::json_number_field(r, "slack_bw").value_or(0.0);
+    }
+  }
+  svc::JsonRow row;
+  row.field("kind", "study_summary")
+      .field("trials", rows.size())
+      .field("packed", packed)
+      .field("feasible", feasible)
+      .field("sum_period", sum_period)
+      .field("sum_slack_bw", sum_slack_bw)
+      .field("mean_period",
+             feasible ? sum_period / static_cast<double>(feasible) : 0.0);
+  return row.str();
+}
+
+// --- solve ----------------------------------------------------------------
+
+struct SolveOpts {
+  CommonOpts common;
   double simulate_horizon = 0.0;
   double fault_rate = 0.0;
   std::size_t trace = 0;
   bool sensitivity = false;
   bool response_times = false;
-  bool csv = false;
 };
 
-int usage() {
-  std::cerr
-      << "usage: flexrt_design <taskfile> [--alg edf|rm]\n"
-         "         [--goal min-overhead|max-slack]\n"
-         "         [--overhead O_FT,O_FS,O_NF] [--simulate HORIZON]\n"
-         "         [--fault-rate R] [--trace N] [--sensitivity]\n"
-         "         [--response-times] [--csv]\n";
-  return 2;
+int print_solve_human(const svc::AnalysisService& service, std::size_t i,
+                      const svc::SolveResult& r, const SolveOpts& args) {
+  const core::ModeTaskSystem& sys = service.system(i);
+  std::cout << r.name << ": " << sys.num_tasks() << " tasks (FT "
+            << sys.mode_tasks(rt::Mode::FT).size() << ", FS "
+            << sys.mode_tasks(rt::Mode::FS).size() << ", NF "
+            << sys.mode_tasks(rt::Mode::NF).size() << ")\n";
+  if (!r.feasible) {
+    std::cout << "infeasible: " << r.infeasible << "\n";
+    return 1;
+  }
+  const core::Design& d = r.design;
+  std::cout << "design (" << to_string(args.common.alg) << ", "
+            << to_string(args.common.goal) << "): " << d.schedule << "\n"
+            << "accuracy: " << provenance_note(r.prov) << "\n";
+
+  Table t({"mode", "quantum", "overhead", "alloc_bw", "required_bw"});
+  for (const rt::Mode mode : core::kAllModes) {
+    t.row()
+        .cell(rt::to_string(mode))
+        .cell(d.schedule.slot(mode).usable, 4)
+        .cell(d.schedule.slot(mode).overhead, 4)
+        .cell(d.schedule.allocated_bandwidth(mode), 4)
+        .cell(sys.required_bandwidth(mode), 4);
+  }
+  args.common.csv ? t.print_csv(std::cout) : t.print(std::cout);
+
+  if (args.sensitivity) {
+    std::cout << "\nsensitivity (max WCET scale keeping the design "
+                 "feasible, cap 16x):\n";
+    svc::SensitivityRequest req;
+    req.alg = args.common.alg;
+    req.schedule = d.schedule;
+    req.accuracy = args.common.accuracy();
+    const svc::SensitivityResult s = service.sensitivity_one(i, req);
+    Table st({"task", "mode", "wcet", "scale_margin"});
+    for (const core::TaskMargin& m : s.margins) {
+      st.row()
+          .cell(m.name)
+          .cell(rt::to_string(m.mode))
+          .cell(m.wcet, 3)
+          .cell(m.scale_margin, 3);
+    }
+    args.common.csv ? st.print_csv(std::cout) : st.print(std::cout);
+    std::cout << "global simultaneous scale margin: "
+              << format_fixed(s.global_margin, 3) << "\n";
+  }
+
+  if (args.response_times) {
+    if (args.common.alg != hier::Scheduler::FP) {
+      std::cout << "\n(response-time bounds are available for FP only; "
+                   "rerun with --alg rm)\n";
+    } else {
+      std::cout << "\nworst-case response-time bounds (exact slot supply):\n";
+      Table rtb({"task", "mode", "deadline", "response_bound"});
+      for (const rt::Mode mode : core::kAllModes) {
+        for (const rt::TaskSet& raw : sys.partitions(mode)) {
+          if (raw.empty()) continue;
+          const rt::TaskSet ordered = rt::sort_deadline_monotonic(raw);
+          const auto bounds =
+              hier::fp_response_times(ordered, d.schedule.exact_supply(mode));
+          for (std::size_t k = 0; k < ordered.size(); ++k) {
+            rtb.row()
+                .cell(ordered[k].name)
+                .cell(rt::to_string(mode))
+                .cell(ordered[k].deadline, 3);
+            if (bounds[k]) {
+              rtb.cell(*bounds[k], 3);
+            } else {
+              rtb.cell("miss");
+            }
+          }
+        }
+      }
+      args.common.csv ? rtb.print_csv(std::cout) : rtb.print(std::cout);
+    }
+  }
+
+  if (args.simulate_horizon > 0.0) {
+    sim::SimOptions opt;
+    opt.horizon = args.simulate_horizon;
+    opt.scheduler = args.common.alg;
+    opt.faults = {args.fault_rate, 2.0};
+    opt.trace_capacity = args.trace;
+    sim::Simulator simulator(sys, d.schedule, opt);
+    const sim::SimResult res = simulator.run();
+    std::cout << "\nsimulated " << args.simulate_horizon << " units: "
+              << res.total_misses() << " misses, " << res.faults.injected
+              << " faults (" << res.faults.masked << " masked, "
+              << res.faults.silenced << " silenced, " << res.faults.corrupting
+              << " corrupting)\n";
+    if (args.trace > 0) {
+      std::cout << "--- trace ---\n";
+      simulator.trace().print(std::cout);
+    }
+    if (res.total_misses() > 0) return 1;
+  }
+  return 0;
 }
 
-bool parse_overheads(const std::string& spec, core::Overheads& out) {
-  std::istringstream in(spec);
-  char c1 = 0, c2 = 0;
-  return static_cast<bool>(in >> out.ft >> c1 >> out.fs >> c2 >> out.nf) &&
-         c1 == ',' && c2 == ',';
+int cmd_solve(const std::vector<std::string>& argv_rest) {
+  SolveOpts args;
+  ArgVec av(argv_rest);
+  const int argc = av.argc();
+  char** raw = av.argv();
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = raw[i];
+    const int common = parse_common_flag(args.common, argc, raw, i);
+    if (common == 0) continue;
+    if (common == 2) return usage();
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? raw[++i] : nullptr;
+    };
+    if (a == "--simulate") {
+      const char* v = next();
+      if (!v) return usage();
+      args.simulate_horizon = parse_num("--simulate", v);
+    } else if (a == "--fault-rate") {
+      const char* v = next();
+      if (!v) return usage();
+      args.fault_rate = parse_num("--fault-rate", v);
+    } else if (a == "--trace") {
+      const char* v = next();
+      if (!v) return usage();
+      args.trace = parse_size("--trace", v);
+    } else if (a == "--sensitivity") {
+      args.sensitivity = true;
+    } else if (a == "--response-times") {
+      args.response_times = true;
+    } else if (!a.empty() && a[0] != '-') {
+      args.common.files.push_back(a);
+    } else {
+      return usage();
+    }
+  }
+  if (args.common.files.empty()) return usage();
+
+  svc::AnalysisService service;
+  load_fleet(service, args.common.files);
+  svc::SolveRequest req{args.common.alg, args.common.overheads,
+                        args.common.goal, {}, args.common.accuracy()};
+  const std::vector<svc::SolveResult> results = service.solve(req);
+
+  int rc = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const svc::SolveResult& r = results[i];
+    if (!r.ok()) throw ModelError(r.error);
+    if (args.common.jsonl) {
+      svc::JsonRow row;
+      row.field("kind", "solve")
+          .field("name", r.name)
+          .field("alg", to_string(args.common.alg))
+          .field("goal", to_string(args.common.goal))
+          .field("feasible", r.feasible);
+      if (r.feasible) {
+        row.field("period", r.design.schedule.period)
+            .field("q_ft", r.design.schedule.ft.usable)
+            .field("q_fs", r.design.schedule.fs.usable)
+            .field("q_nf", r.design.schedule.nf.usable)
+            .field("slack", r.design.schedule.slack())
+            .field("slack_bw", r.design.schedule.slack_bandwidth())
+            .field("overhead_bw", r.design.schedule.overhead_bandwidth());
+      } else {
+        row.field("infeasible", r.infeasible);
+      }
+      provenance_fields(row, r.prov);
+      std::cout << row.str() << "\n";
+      if (!r.feasible) rc = std::max(rc, 1);
+    } else {
+      if (i) std::cout << "\n";
+      rc = std::max(rc, print_solve_human(service, i, r, args));
+    }
+  }
+  return rc;
+}
+
+// --- sweep ----------------------------------------------------------------
+
+int cmd_sweep(const std::vector<std::string>& argv_rest) {
+  CommonOpts common;
+  core::SearchOptions search;
+  search.p_min = 0.05;
+  search.p_max = 3.5;
+  search.grid_step = 0.05;
+  ArgVec av(argv_rest);
+  const int argc = av.argc();
+  char** raw = av.argv();
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = raw[i];
+    const int c = parse_common_flag(common, argc, raw, i);
+    if (c == 0) continue;
+    if (c == 2) return usage();
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? raw[++i] : nullptr;
+    };
+    if (a == "--p-min") {
+      const char* v = next();
+      if (!v) return usage();
+      search.p_min = parse_num("--p-min", v);
+    } else if (a == "--p-max") {
+      const char* v = next();
+      if (!v) return usage();
+      search.p_max = parse_num("--p-max", v);
+    } else if (a == "--step") {
+      const char* v = next();
+      if (!v) return usage();
+      search.grid_step = parse_num("--step", v);
+    } else if (!a.empty() && a[0] != '-') {
+      common.files.push_back(a);
+    } else {
+      return usage();
+    }
+  }
+  if (common.files.empty()) return usage();
+
+  svc::AnalysisService service;
+  load_fleet(service, common.files);
+  const std::vector<svc::RegionSweepResult> results =
+      service.region_sweep({common.alg, search, common.accuracy()});
+
+  for (const svc::RegionSweepResult& r : results) {
+    if (!r.ok()) throw ModelError(r.error);
+    if (common.jsonl) {
+      for (const core::RegionSample& s : r.samples) {
+        svc::JsonRow row;
+        row.field("kind", "sweep_sample")
+            .field("name", r.name)
+            .field("alg", to_string(common.alg))
+            .field("period", s.period)
+            .field("margin", s.margin);
+        std::cout << row.str() << "\n";
+      }
+      svc::JsonRow row;
+      row.field("kind", "sweep")
+          .field("name", r.name)
+          .field("alg", to_string(common.alg))
+          .field("samples", r.samples.size());
+      provenance_fields(row, r.prov);
+      std::cout << row.str() << "\n";
+    } else {
+      std::cout << r.name << ": lhs(P) over [" << search.p_min << ", "
+                << search.p_max << "], " << to_string(common.alg) << " ("
+                << provenance_note(r.prov) << ")\n";
+      Table t({"P", "margin"});
+      for (const core::RegionSample& s : r.samples) {
+        t.row().cell(s.period, 3).cell(s.margin, 4);
+      }
+      common.csv ? t.print_csv(std::cout) : t.print(std::cout);
+    }
+  }
+  return 0;
+}
+
+// --- verify ---------------------------------------------------------------
+
+int cmd_verify(const std::vector<std::string>& argv_rest) {
+  CommonOpts common;
+  double period = 0.0;
+  double q_ft = 0.0, q_fs = 0.0, q_nf = 0.0;
+  bool have_quanta = false;
+  bool exact_supply = false;
+  ArgVec av(argv_rest);
+  const int argc = av.argc();
+  char** raw = av.argv();
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = raw[i];
+    const int c = parse_common_flag(common, argc, raw, i);
+    if (c == 0) continue;
+    if (c == 2) return usage();
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? raw[++i] : nullptr;
+    };
+    if (a == "--period") {
+      const char* v = next();
+      if (!v) return usage();
+      period = parse_num("--period", v);
+    } else if (a == "--quanta") {
+      const char* v = next();
+      if (!v || !parse_triple(v, q_ft, q_fs, q_nf)) return usage();
+      have_quanta = true;
+    } else if (a == "--exact-supply") {
+      exact_supply = true;
+    } else if (!a.empty() && a[0] != '-') {
+      common.files.push_back(a);
+    } else {
+      return usage();
+    }
+  }
+  if (common.files.empty() || period <= 0.0 || !have_quanta) return usage();
+
+  core::ModeSchedule schedule;
+  schedule.period = period;
+  schedule.ft = {q_ft, common.overheads.ft};
+  schedule.fs = {q_fs, common.overheads.fs};
+  schedule.nf = {q_nf, common.overheads.nf};
+
+  svc::AnalysisService service;
+  load_fleet(service, common.files);
+  const std::vector<svc::VerifyResult> results =
+      service.verify({common.alg, schedule, exact_supply, common.accuracy()});
+
+  int rc = 0;
+  for (const svc::VerifyResult& r : results) {
+    if (!r.ok()) throw ModelError(r.error);
+    if (common.jsonl) {
+      svc::JsonRow row;
+      row.field("kind", "verify")
+          .field("name", r.name)
+          .field("alg", to_string(common.alg))
+          .field("period", period)
+          .field("schedulable", r.schedulable);
+      provenance_fields(row, r.prov);
+      std::cout << row.str() << "\n";
+    } else {
+      std::cout << r.name << ": "
+                << (r.schedulable ? "schedulable" : "NOT schedulable") << " ("
+                << provenance_note(r.prov) << ")\n";
+    }
+    if (!r.schedulable) rc = 1;
+  }
+  return rc;
+}
+
+// --- study / merge --------------------------------------------------------
+
+int cmd_study(const std::vector<std::string>& argv_rest) {
+  CommonOpts common;
+  common.overheads = {0.05 / 3, 0.05 / 3, 0.05 / 3};  // paper's O_tot = 0.05
+  core::StudyOptions study;
+  study.trials = 100;
+  study.base_seed = 0x5EED;
+  ArgVec av(argv_rest);
+  const int argc = av.argc();
+  char** raw = av.argv();
+  for (int i = 0; i < argc; ++i) {
+    const int c = parse_common_flag(common, argc, raw, i);
+    if (c == 0) continue;
+    if (c == 2) return usage();
+    if (core::parse_study_flag(study, argc, raw, i)) continue;
+    return usage();
+  }
+
+  svc::AnalysisService service;
+  service.add_fleet(study, [](std::size_t, Rng& rng) {
+    return gen::study_system(rng);
+  });
+
+  core::SearchOptions search;
+  search.grid_step = 5e-3;
+  search.p_max = 10.0;
+  const std::vector<svc::SolveResult> results = service.solve(
+      {common.alg, common.overheads, common.goal, search, common.accuracy()});
+
+  std::vector<std::string> rows;
+  rows.reserve(results.size());
+  for (const svc::SolveResult& r : results) {
+    rows.push_back(study_trial_row(r, common));
+  }
+
+  if (common.jsonl) {
+    for (const std::string& row : rows) std::cout << row << "\n";
+    // Shards emit rows only; the merged/unsharded report owns the summary.
+    if (study.shard.count == 1) {
+      std::cout << study_summary_row(rows) << "\n";
+    }
+    return 0;
+  }
+
+  std::cout << "study: " << rows.size() << " of " << study.trials
+            << " trials (shard " << study.shard.index + 1 << "/"
+            << study.shard.count << ", seed 0x" << std::hex << study.base_seed
+            << std::dec << "), " << to_string(common.alg) << ", "
+            << to_string(common.goal) << ", O_tot "
+            << common.overheads.total() << "\n\n";
+  std::size_t packed = 0, feasible = 0;
+  double sum_period = 0.0, sum_slack = 0.0;
+  for (const svc::SolveResult& r : results) {
+    packed += r.ok() ? 1 : 0;
+    if (r.ok() && r.feasible) {
+      ++feasible;
+      sum_period += r.design.schedule.period;
+      sum_slack += r.design.schedule.slack_bandwidth();
+    }
+  }
+  Table t({"trials", "packed", "feasible", "sum_period", "mean_period",
+           "sum_slack_bw"});
+  t.row()
+      .cell(rows.size())
+      .cell(packed)
+      .cell(feasible)
+      .cell(sum_period, 3)
+      .cell(feasible ? sum_period / static_cast<double>(feasible) : 0.0, 3)
+      .cell(sum_slack, 3);
+  common.csv ? t.print_csv(std::cout) : t.print(std::cout);
+  return 0;
+}
+
+int cmd_merge(const std::vector<std::string>& files) {
+  if (files.empty()) return usage();
+  std::vector<std::string> rows;
+  for (const std::string& file : files) {
+    std::ifstream in(file);
+    if (!in) throw ModelError("cannot open " + file);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (svc::json_string_field(line, "kind").value_or("") == "study_trial") {
+        rows.push_back(line);
+      }
+      // Per-shard summaries (none are emitted today) and foreign rows are
+      // dropped; the merged summary is recomputed from the trial rows.
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const std::string& a, const std::string& b) {
+                     return svc::json_number_field(a, "trial").value_or(0.0) <
+                            svc::json_number_field(b, "trial").value_or(0.0);
+                   });
+  for (std::size_t k = 1; k < rows.size(); ++k) {
+    const double a = svc::json_number_field(rows[k - 1], "trial").value_or(-1);
+    const double b = svc::json_number_field(rows[k], "trial").value_or(-1);
+    if (a == b) {
+      std::cerr << "merge: duplicate trial " << b
+                << " (same shard merged twice?)\n";
+      return 2;
+    }
+  }
+  for (const std::string& row : rows) std::cout << row << "\n";
+  std::cout << study_summary_row(rows) << "\n";
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (a == "--alg") {
-      const char* v = next();
-      if (!v) return usage();
-      if (std::strcmp(v, "edf") == 0) {
-        args.alg = hier::Scheduler::EDF;
-      } else if (std::strcmp(v, "rm") == 0) {
-        args.alg = hier::Scheduler::FP;
-      } else {
-        return usage();
-      }
-    } else if (a == "--goal") {
-      const char* v = next();
-      if (!v) return usage();
-      if (std::strcmp(v, "min-overhead") == 0) {
-        args.goal = core::DesignGoal::MinOverheadBandwidth;
-      } else if (std::strcmp(v, "max-slack") == 0) {
-        args.goal = core::DesignGoal::MaxSlackBandwidth;
-      } else {
-        return usage();
-      }
-    } else if (a == "--overhead") {
-      const char* v = next();
-      if (!v || !parse_overheads(v, args.overheads)) return usage();
-    } else if (a == "--simulate") {
-      const char* v = next();
-      if (!v) return usage();
-      args.simulate_horizon = std::stod(v);
-    } else if (a == "--fault-rate") {
-      const char* v = next();
-      if (!v) return usage();
-      args.fault_rate = std::stod(v);
-    } else if (a == "--trace") {
-      const char* v = next();
-      if (!v) return usage();
-      args.trace = static_cast<std::size_t>(std::stoul(v));
-    } else if (a == "--sensitivity") {
-      args.sensitivity = true;
-    } else if (a == "--response-times") {
-      args.response_times = true;
-    } else if (a == "--csv") {
-      args.csv = true;
-    } else if (args.file.empty() && a[0] != '-') {
-      args.file = a;
-    } else {
-      return usage();
-    }
-  }
-  if (args.file.empty()) return usage();
-
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
   try {
-    std::ifstream in(args.file);
-    if (!in) {
-      std::cerr << "cannot open " << args.file << "\n";
-      return 2;
-    }
-    const io::ParsedSystem parsed = io::parse_mode_task_system(in);
-    const core::ModeTaskSystem& sys = parsed.system;
-
-    std::cout << "loaded " << sys.num_tasks() << " tasks (FT "
-              << sys.mode_tasks(rt::Mode::FT).size() << ", FS "
-              << sys.mode_tasks(rt::Mode::FS).size() << ", NF "
-              << sys.mode_tasks(rt::Mode::NF).size() << "; channels "
-              << (parsed.had_explicit_channels ? "from file" : "auto-packed")
-              << ")\n";
-
-    const core::Design d =
-        core::solve_design(sys, args.alg, args.overheads, args.goal);
-    std::cout << "design (" << to_string(args.alg) << ", "
-              << to_string(args.goal) << "): " << d.schedule << "\n";
-
-    Table t({"mode", "quantum", "overhead", "alloc_bw", "required_bw"});
-    for (const rt::Mode mode : core::kAllModes) {
-      t.row()
-          .cell(rt::to_string(mode))
-          .cell(d.schedule.slot(mode).usable, 4)
-          .cell(d.schedule.slot(mode).overhead, 4)
-          .cell(d.schedule.allocated_bandwidth(mode), 4)
-          .cell(sys.required_bandwidth(mode), 4);
-    }
-    args.csv ? t.print_csv(std::cout) : t.print(std::cout);
-
-    if (args.sensitivity) {
-      std::cout << "\nsensitivity (max WCET scale keeping the design "
-                   "feasible, cap 16x):\n";
-      Table st({"task", "mode", "wcet", "scale_margin"});
-      for (const core::TaskMargin& m :
-           core::sensitivity_report(sys, d.schedule, args.alg)) {
-        st.row()
-            .cell(m.name)
-            .cell(rt::to_string(m.mode))
-            .cell(m.wcet, 3)
-            .cell(m.scale_margin, 3);
-      }
-      args.csv ? st.print_csv(std::cout) : st.print(std::cout);
-      std::cout << "global simultaneous scale margin: "
-                << format_fixed(core::global_scale_margin(sys, d.schedule,
-                                                          args.alg),
-                                3)
-                << "\n";
-    }
-
-    if (args.response_times) {
-      if (args.alg != hier::Scheduler::FP) {
-        std::cout << "\n(response-time bounds are available for FP only; "
-                     "rerun with --alg rm)\n";
-      } else {
-        std::cout << "\nworst-case response-time bounds (exact slot "
-                     "supply):\n";
-        Table rtb({"task", "mode", "deadline", "response_bound"});
-        for (const rt::Mode mode : core::kAllModes) {
-          for (const rt::TaskSet& raw : sys.partitions(mode)) {
-            if (raw.empty()) continue;
-            const rt::TaskSet ordered = rt::sort_deadline_monotonic(raw);
-            const auto bounds = hier::fp_response_times(
-                ordered, d.schedule.exact_supply(mode));
-            for (std::size_t i = 0; i < ordered.size(); ++i) {
-              rtb.row()
-                  .cell(ordered[i].name)
-                  .cell(rt::to_string(mode))
-                  .cell(ordered[i].deadline, 3);
-              if (bounds[i]) {
-                rtb.cell(*bounds[i], 3);
-              } else {
-                rtb.cell("miss");
-              }
-            }
-          }
-        }
-        args.csv ? rtb.print_csv(std::cout) : rtb.print(std::cout);
-      }
-    }
-
-    if (args.simulate_horizon > 0.0) {
-      sim::SimOptions opt;
-      opt.horizon = args.simulate_horizon;
-      opt.scheduler = args.alg;
-      opt.faults = {args.fault_rate, 2.0};
-      opt.trace_capacity = args.trace;
-      sim::Simulator simulator(sys, d.schedule, opt);
-      const sim::SimResult r = simulator.run();
-      std::cout << "\nsimulated " << args.simulate_horizon << " units: "
-                << r.total_misses() << " misses, " << r.faults.injected
-                << " faults (" << r.faults.masked << " masked, "
-                << r.faults.silenced << " silenced, " << r.faults.corrupting
-                << " corrupting)\n";
-      if (args.trace > 0) {
-        std::cout << "--- trace ---\n";
-        simulator.trace().print(std::cout);
-      }
-      if (r.total_misses() > 0) return 1;
-    }
-    return 0;
+    if (cmd == "solve") return cmd_solve(rest);
+    if (cmd == "sweep") return cmd_sweep(rest);
+    if (cmd == "verify") return cmd_verify(rest);
+    if (cmd == "study") return cmd_study(rest);
+    if (cmd == "merge") return cmd_merge(rest);
+    if (cmd == "--help" || cmd == "-h") return usage();
+    // Legacy form: flexrt_design [flags...] <taskfile> [flags...] == solve
+    // (the pre-subcommand CLI accepted the file at any position, so flags
+    // before the file must keep working too).
+    std::vector<std::string> all(argv + 1, argv + argc);
+    return cmd_solve(all);
   } catch (const InfeasibleError& e) {
     std::cerr << "infeasible: " << e.what() << "\n";
     return 1;
   } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
