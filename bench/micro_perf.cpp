@@ -95,6 +95,7 @@ BENCHMARK(BM_EdfDemandCurve)->Arg(4)->Arg(8)->Arg(12);
 // Workloads are shared with tools/bench_report via bench/stress_workloads.hpp.
 
 using benchws::stress_set;
+using benchws::stress_set_fp;
 using benchws::tractable_big_set;
 
 void BM_BoundedDeadlineSetStress(benchmark::State& state) {
@@ -129,6 +130,35 @@ void BM_MinQuantumStressProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MinQuantumStressProbe)->Arg(1000)->Arg(4000);
+
+void BM_MinQuantumStressFpCold(benchmark::State& state) {
+  // FP twin of the cold EDF stress row: the full Bini-Buttazzo sets are
+  // astronomically large here, so only the condensed point budget
+  // (rt::bounded_scheduling_points) finishes. Context built per iteration.
+  const rt::TaskSet ts =
+      stress_set_fp(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const rt::AnalysisContext ctx(ts);
+    benchmark::DoNotOptimize(hier::min_quantum(ctx, hier::Scheduler::FP,
+                                               2.0));
+  }
+}
+BENCHMARK(BM_MinQuantumStressFpCold)->Arg(1000)->Arg(4000);
+
+void BM_MinQuantumStressFpProbe(benchmark::State& state) {
+  // Warm: one condensed context probed at many periods (the design-sweep
+  // shape the FP budget exists for).
+  const rt::TaskSet ts =
+      stress_set_fp(static_cast<std::size_t>(state.range(0)));
+  const rt::AnalysisContext ctx(ts);
+  double period = 1.0;
+  for (auto _ : state) {
+    period = period >= 8.0 ? 1.0 : period + 0.37;
+    benchmark::DoNotOptimize(hier::min_quantum(ctx, hier::Scheduler::FP,
+                                               period));
+  }
+}
+BENCHMARK(BM_MinQuantumStressFpProbe)->Arg(1000)->Arg(4000);
 
 void BM_MinQuantumBigLegacy(benchmark::State& state) {
   // Legacy path on the tractable twin (the hostile set would not finish).

@@ -21,6 +21,16 @@ inline rt::TaskSet stress_set(std::size_t n) {
   return gen::generate_stress_set(sp, rng);
 }
 
+/// FP-ordered (deadline-monotonic) twin of stress_set: point-hostile for
+/// the FP kernels the same way stress_set is hyperperiod-hostile for EDF.
+/// Shares the seed so the EDF and FP stress rows describe the same draw.
+inline rt::TaskSet stress_set_fp(std::size_t n) {
+  Rng rng(977 + n);
+  gen::StressParams sp;
+  sp.num_tasks = n;
+  return gen::generate_stress_set_fp(sp, rng);
+}
+
 /// Tractable twin (divisor-friendly period menu, hyperperiod 120): the
 /// frozen legacy path still runs here, carrying the before/after ratio.
 inline rt::TaskSet tractable_big_set(std::size_t n) {

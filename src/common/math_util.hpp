@@ -31,13 +31,19 @@ constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
   return (a + b - 1) / b;
 }
 
+/// Default integer-snapping tolerance of ceil_ratio / floor_ratio. Named so
+/// code that inverts the snapping algebra (e.g. the workload band splits in
+/// rt::AnalysisContext, which rely on ceil_ratio(t, T) being exactly 0 for
+/// T >= t / kRatioSnapTol) stays tied to the ratio kernels by construction.
+inline constexpr double kRatioSnapTol = 1e-9;
+
 /// ceil(x/y) for positive doubles computed robustly: values that are within
 /// tolerance of an integer are treated as that integer before rounding up.
 /// The schedulability sums (Eq. 5/9 of the paper) are extremely sensitive to
 /// ceil(t/T) stepping one period too early due to representation noise.
-std::int64_t ceil_ratio(double x, double y, double tol = 1e-9) noexcept;
+std::int64_t ceil_ratio(double x, double y, double tol = kRatioSnapTol) noexcept;
 
 /// floor(x/y) with the same integer-snapping robustness as ceil_ratio.
-std::int64_t floor_ratio(double x, double y, double tol = 1e-9) noexcept;
+std::int64_t floor_ratio(double x, double y, double tol = kRatioSnapTol) noexcept;
 
 }  // namespace flexrt

@@ -42,8 +42,12 @@ bool matches(const rt::Task& t, const std::string& name) {
 }  // namespace
 
 BatchEngine::BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg,
-                         const rt::DlBoundOptions& dl_opts)
-    : alg_(alg), dl_opts_(dl_opts), auto_p_max_(core::auto_period_bound(sys)) {
+                         const rt::DlBoundOptions& dl_opts,
+                         const rt::FpPointOptions& fp_opts)
+    : alg_(alg),
+      dl_opts_(dl_opts),
+      fp_opts_(fp_opts),
+      auto_p_max_(core::auto_period_bound(sys)) {
   for (const rt::Mode mode : kAllModes) {
     for (const rt::TaskSet& ts : sys.partitions(mode)) {
       for (const rt::Task& t : ts) {
@@ -54,7 +58,7 @@ BatchEngine::BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg,
       rt::TaskSet ordered =
           alg == hier::Scheduler::FP ? rt::sort_deadline_monotonic(ts) : ts;
       parts_.push_back({mode, std::make_unique<rt::AnalysisContext>(
-                                  std::move(ordered), dl_opts)});
+                                  std::move(ordered), dl_opts, fp_opts)});
     }
   }
 }
@@ -63,6 +67,14 @@ bool BatchEngine::dl_exact() const {
   if (alg_ == hier::Scheduler::FP) return true;
   for (const Partition& part : parts_) {
     if (!part.ctx->dl_exact()) return false;
+  }
+  return true;
+}
+
+bool BatchEngine::fp_exact() const {
+  if (alg_ != hier::Scheduler::FP) return true;
+  for (const Partition& part : parts_) {
+    if (!part.ctx->fp_exact()) return false;
   }
   return true;
 }

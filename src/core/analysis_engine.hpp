@@ -33,26 +33,40 @@ namespace flexrt::analysis {
 class BatchEngine {
  public:
   /// `dl_opts` controls the QPA bounding/condensation of every partition's
-  /// EDF deadline set (rt/deadline_bound.hpp); the default budget keeps
-  /// paper-scale systems exact and makes hyperperiod-hostile generated
-  /// systems tractable via the condensed safe over-approximation.
+  /// EDF deadline set (rt/deadline_bound.hpp) and `fp_opts` the per-task
+  /// FP scheduling-point condensation (rt/sched_points.hpp); the default
+  /// budgets keep paper-scale systems exact and make hyperperiod-hostile /
+  /// point-hostile generated systems tractable via the condensed safe
+  /// over-approximations.
   BatchEngine(const core::ModeTaskSystem& sys, hier::Scheduler alg,
-              const rt::DlBoundOptions& dl_opts = {});
+              const rt::DlBoundOptions& dl_opts = {},
+              const rt::FpPointOptions& fp_opts = {});
 
   hier::Scheduler scheduler() const noexcept { return alg_; }
 
-  /// The deadline-set bounding options every partition context was built
-  /// with (provenance: the budget behind each answer).
+  /// The bounding options every partition context was built with
+  /// (provenance: the budgets behind each answer).
   const rt::DlBoundOptions& dl_options() const noexcept { return dl_opts_; }
+  const rt::FpPointOptions& fp_options() const noexcept { return fp_opts_; }
 
-  /// True iff every probe so far was exact: under FP the Bini-Buttazzo
-  /// point sets are always complete, under EDF this asks each partition
-  /// whether its bounded deadline set covers the full hyperperiod. Calling
-  /// it materializes the EDF caches, so ask *after* probing (the answer is
-  /// the provenance of those probes). When false, answers are safe
-  /// over-approximations and an adaptive re-probe at a larger budget
-  /// (rt::next_budget_rung) can tighten them.
+  /// True iff every EDF probe so far was exact: under FP this is trivially
+  /// true (the EDF caches are never consulted), under EDF it asks each
+  /// partition whether its bounded deadline set covers the full
+  /// hyperperiod. Calling it materializes the EDF caches, so ask *after*
+  /// probing (the answer is the provenance of those probes). When false,
+  /// answers are safe over-approximations and an adaptive re-probe at a
+  /// larger budget (rt::next_budget_rung) can tighten them.
   bool dl_exact() const;
+
+  /// FP-side twin of dl_exact(): true iff every partition's scheduling
+  /// points are the full Bini-Buttazzo sets (trivially true under EDF).
+  /// Same caveat: calling it materializes the FP caches.
+  bool fp_exact() const;
+
+  /// dl_exact() && fp_exact(): whether the final answers of this engine
+  /// are exact rather than safe over-approximations -- the exactness the
+  /// accuracy ladder (svc::run_ladder) stops on.
+  bool exact() const { return dl_exact() && fp_exact(); }
 
   // --- period-side kernels (Eq. 15) --------------------------------------
 
@@ -125,6 +139,7 @@ class BatchEngine {
 
   hier::Scheduler alg_;
   rt::DlBoundOptions dl_opts_;
+  rt::FpPointOptions fp_opts_;
   double auto_p_max_ = 0.0;
   bool mode_used_[3] = {false, false, false};
   std::vector<Partition> parts_;

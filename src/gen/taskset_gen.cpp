@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "rt/priority.hpp"
 
 namespace flexrt::gen {
 
@@ -108,6 +109,10 @@ rt::TaskSet generate_stress_set(const StressParams& params, Rng& rng) {
     if (ok) return rt::TaskSet(std::move(tasks));
   }
   throw Error("stress-set generation failed after 256 attempts");
+}
+
+rt::TaskSet generate_stress_set_fp(const StressParams& params, Rng& rng) {
+  return rt::sort_deadline_monotonic(generate_stress_set(params, rng));
 }
 
 std::optional<core::ModeTaskSystem> build_system(const rt::TaskSet& ts,

@@ -63,6 +63,15 @@ struct StressParams {
 /// rng state); task names are "s<index>".
 rt::TaskSet generate_stress_set(const StressParams& params, Rng& rng);
 
+/// FP variant of the stress generator: the same hostile draw, returned in
+/// deadline-monotonic priority order (index 0 highest) ready for the FP
+/// kernels. These sets are point-hostile for FP the same way they are
+/// hyperperiod-hostile for EDF -- the multiples bound on |schedP_i|,
+/// 1 + sum_{j<i} floor(D_i/T_j), grows past any per-task budget for the
+/// low-priority (long-deadline) tasks -- so they exercise the condensed
+/// scheduling-point path (rt::bounded_scheduling_points).
+rt::TaskSet generate_stress_set_fp(const StressParams& params, Rng& rng);
+
 /// Splits a generated set by required mode and packs each mode's tasks onto
 /// its channels (1 FT / 2 FS / 4 NF) with the given heuristic. Returns
 /// nullopt when packing fails (some channel would exceed unit bandwidth,

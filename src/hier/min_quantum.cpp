@@ -18,6 +18,11 @@ double quantum_for_point(double t, double workload, double period) noexcept {
 namespace {
 
 double min_quantum_fp(const rt::AnalysisContext& ctx, double period) {
+  // On a condensed point set this pairs each bucket's end workload with
+  // its start time: quantum_for_point is decreasing in t and increasing in
+  // W, so the bucket's quantum dominates every point inside it and the
+  // condensed minQ is a safe over-approximation (exact when fp_exact()).
+  // No tail term -- schedP_i is bounded by D_i, unlike the EDF dlSet.
   double worst = 0.0;
   for (std::size_t i = 0; i < ctx.size(); ++i) {
     const std::vector<double>& points = ctx.scheduling_points(i);

@@ -24,7 +24,9 @@ double min_quantum(const rt::TaskSet& ts, Scheduler alg, double period);
 /// at them come from the context, so evaluating minQ at another period is
 /// O(points) with no re-derivation. Design-space sweeps (lhs(P) curves,
 /// period searches) build one context per partition and probe it at every
-/// period.
+/// period. On condensed contexts (EDF dlSet budget or FP point budget
+/// exceeded) the answer is a safe over-approximation: condensed minQ >=
+/// exact minQ, and its supply schedules the full set.
 double min_quantum(const rt::AnalysisContext& ctx, Scheduler alg,
                    double period);
 

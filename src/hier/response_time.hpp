@@ -37,7 +37,9 @@ std::optional<double> fp_response_time(const rt::TaskSet& ts, std::size_t i,
 /// identical result and identical work (the RTA iterates at arbitrary R
 /// values, so the cached test points don't apply -- its speedup over the
 /// seed comes from the closed-form inverse). Lets context-holding callers
-/// avoid carrying the TaskSet separately.
+/// avoid carrying the TaskSet separately. Unaffected by the FP point
+/// budget: each iterate is O(i) in the task count with no point set at
+/// all, so the RTA stays exact even on condensed contexts.
 std::optional<double> fp_response_time(const rt::AnalysisContext& ctx,
                                        std::size_t i,
                                        const SupplyFunction& supply);

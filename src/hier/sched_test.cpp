@@ -42,6 +42,10 @@ bool schedulable(const rt::TaskSet& ts, Scheduler alg,
 
 bool fp_schedulable(const rt::AnalysisContext& ctx,
                     const SupplyFunction& supply) {
+  // On a condensed point set, workloads[k] is W_i at the bucket's last
+  // point while points[k] is its first -- the conservative pairing for an
+  // EXISTS test (harder to pass), so a pass here implies a pass of the
+  // full Bini-Buttazzo test. Exact when ctx.fp_exact().
   for (std::size_t i = 0; i < ctx.size(); ++i) {
     const std::vector<double>& points = ctx.scheduling_points(i);
     const std::vector<double>& workloads = ctx.fp_point_workloads(i);

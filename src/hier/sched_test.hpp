@@ -34,7 +34,9 @@ bool schedulable(const rt::TaskSet& ts, Scheduler alg,
 /// from the AnalysisContext, so one probe only evaluates the supply at the
 /// cached points. This is what makes bisection loops over the supply
 /// (min_quantum_exact, sensitivity margins) cheap -- the task-set side of
-/// the inequality never moves between probes.
+/// the inequality never moves between probes. On condensed contexts
+/// (!dl_exact() / !fp_exact()) both are safe sufficient tests: a
+/// condensed "schedulable" implies the exact verdict, never the reverse.
 bool fp_schedulable(const rt::AnalysisContext& ctx,
                     const SupplyFunction& supply);
 bool edf_schedulable(const rt::AnalysisContext& ctx,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "rt/deadline_bound.hpp"
+#include "rt/sched_points.hpp"
 #include "rt/task_set.hpp"
 
 namespace flexrt::rt {
@@ -30,23 +31,37 @@ std::vector<double> edf_demand_curve(const TaskSet& ts,
 /// with only the supply function evaluated fresh.
 ///
 /// FP caches require the set sorted by decreasing priority (as everywhere
-/// else in the library). The EDF side works on the QPA-bounded/condensed
-/// deadline set (rt/deadline_bound.hpp): dl_exact() reports whether it is
-/// the full dlSet (probes are then exact) or a condensed safe
-/// over-approximation whose consumers must add the tail closure (see
-/// hier::edf_schedulable / hier::min_quantum). Each side is materialized
-/// lazily on first use -- an FP-only caller never pays for (or requires)
-/// the hyperperiod. Thread-safe: concurrent readers may share one const
-/// context.
+/// else in the library). Both sides are budgeted:
+///
+/// - The EDF side works on the QPA-bounded/condensed deadline set
+///   (rt/deadline_bound.hpp): dl_exact() reports whether it is the full
+///   dlSet (probes are then exact) or a condensed safe over-approximation
+///   whose consumers must add the tail closure (see hier::edf_schedulable /
+///   hier::min_quantum).
+/// - The FP side works on the bounded/condensed scheduling points
+///   (rt::bounded_scheduling_points): fp_exact() reports whether every
+///   task's set is the full schedP_i, otherwise scheduling_points(i) /
+///   scheduling_point_ends(i) are the conservative (supply side, workload
+///   side) bucket pairs and every test over them is a safe sufficient
+///   test -- no tail closure needed, the sets are bounded by D_i.
+///
+/// Each side is materialized lazily on first use -- an FP-only caller
+/// never pays for (or requires) the hyperperiod. Thread-safe: concurrent
+/// readers may share one const context.
 class AnalysisContext {
  public:
   /// Takes ownership of a snapshot of the task set. `horizon` bounds the
   /// EDF deadline set (<= 0 means the hyperperiod, as in deadline_set());
-  /// the default DlBoundOptions point budget applies either way.
+  /// the default DlBoundOptions / FpPointOptions budgets apply either way.
   explicit AnalysisContext(TaskSet ts, double horizon = 0.0);
 
-  /// Full control over the deadline-set bounding/condensation.
+  /// Full control over the deadline-set bounding/condensation (FP side at
+  /// the default budget).
   AnalysisContext(TaskSet ts, const DlBoundOptions& dl_opts);
+
+  /// Full control over both condensation budgets.
+  AnalysisContext(TaskSet ts, const DlBoundOptions& dl_opts,
+                  const FpPointOptions& fp_opts);
 
   const TaskSet& tasks() const noexcept { return ts_; }
   std::size_t size() const noexcept { return ts_.size(); }
@@ -54,8 +69,9 @@ class AnalysisContext {
   double utilization() const noexcept { return utilization_; }
 
   /// The bounding/condensation options this context was built with (the
-  /// budget a re-probe at the next accuracy rung should double from).
+  /// budgets a re-probe at the next accuracy rung should double from).
   const DlBoundOptions& dl_options() const noexcept { return dl_opts_; }
+  const FpPointOptions& fp_options() const noexcept { return fp_opts_; }
 
   // --- EDF side -----------------------------------------------------------
 
@@ -91,14 +107,28 @@ class AnalysisContext {
 
   // --- FP side ------------------------------------------------------------
 
-  /// Bini-Buttazzo scheduling points of task i (== rt::scheduling_points).
+  /// Bounded/condensed scheduling points of task i: the conservative
+  /// supply-side test times (bucket starts). Equals
+  /// rt::scheduling_points(ts, i) whenever fp_exact() is true.
   const std::vector<double>& scheduling_points(std::size_t i) const;
 
-  /// W_i evaluated at each scheduling point of task i.
+  /// Workload-side time of each bucket of task i (its last point);
+  /// workloads and job counts are evaluated here. Identical to
+  /// scheduling_points(i) when fp_exact() is true.
+  const std::vector<double>& scheduling_point_ends(std::size_t i) const;
+
+  /// W_i evaluated at each bucket end of task i (== at each scheduling
+  /// point when exact).
   const std::vector<double>& fp_point_workloads(std::size_t i) const;
 
-  /// Number of jobs of task j charged to W_i at each scheduling point of
-  /// task i: ceil(t/T_j) for j < i, 1 for j == i, 0 for lower-priority j.
+  /// True iff every task's point set is the full Bini-Buttazzo schedP_i.
+  /// When false, FP tests over the condensed pairs are safe sufficient
+  /// tests (condensed-schedulable => schedulable, condensed minQ >= exact).
+  bool fp_exact() const;
+
+  /// Number of jobs of task j charged to W_i at each bucket end of task i:
+  /// ceil(t/T_j) for j < i, 1 for j == i, 0 for lower-priority j
+  /// (conservative for condensed sets, exact for full ones).
   std::vector<double> fp_point_jobs(std::size_t i, std::size_t j) const;
 
  private:
@@ -107,6 +137,7 @@ class AnalysisContext {
 
   TaskSet ts_;
   DlBoundOptions dl_opts_;
+  FpPointOptions fp_opts_;
   double utilization_ = 0.0;
 
   mutable std::once_flag edf_once_;
@@ -114,8 +145,9 @@ class AnalysisContext {
   mutable std::vector<double> edf_demand_;
 
   mutable std::once_flag fp_once_;
-  mutable std::vector<std::vector<double>> sched_points_;
+  mutable std::vector<BoundedSchedPoints> sched_points_;
   mutable std::vector<std::vector<double>> fp_workloads_;
+  mutable bool fp_exact_ = true;
 };
 
 }  // namespace flexrt::rt

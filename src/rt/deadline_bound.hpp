@@ -76,6 +76,12 @@ struct BoundedDeadlineSet {
   /// c = sum_i C_i (T_i - D_i) / T_i: the intercept of the demand-bound
   /// line, dbf(t) <= U t + c for all t >= 0 (constrained deadlines).
   double util_const = 0.0;
+
+  /// The times demand is evaluated at -- the one place that decodes the
+  /// empty-ends representation of `ends` above.
+  const std::vector<double>& demand_times() const noexcept {
+    return ends.empty() ? times : ends;
+  }
 };
 
 /// Builds the bounded/condensed deadline set. Deterministic: depends only on

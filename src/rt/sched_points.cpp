@@ -1,6 +1,7 @@
 #include "rt/sched_points.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -9,34 +10,122 @@
 namespace flexrt::rt {
 namespace {
 
-// Recursive expansion of P_j(t). `j` counts how many of the higher-priority
-// tasks (indices 0..j-1) are still to be applied.
-void expand(const TaskSet& ts, std::size_t j, double t,
-            std::vector<double>& out) {
-  if (j == 0) {
-    if (t > 0.0) out.push_back(t);
-    return;
-  }
-  const double period = ts[j - 1].period;
-  const double snapped =
-      static_cast<double>(floor_ratio(t, period)) * period;
-  expand(ts, j - 1, snapped, out);
-  expand(ts, j - 1, t, out);
-}
-
-}  // namespace
-
-std::vector<double> scheduling_points(const TaskSet& ts, std::size_t i) {
-  FLEXRT_REQUIRE(i < ts.size(), "task index out of range");
-  std::vector<double> points;
-  expand(ts, i, ts[i].deadline, points);
+/// Sort + dedup with the same tolerance the recursive definition used, so
+/// the iterative expansion reproduces it verbatim.
+void sort_dedup(std::vector<double>& points) {
   std::sort(points.begin(), points.end());
   points.erase(std::unique(points.begin(), points.end(),
                            [](double a, double b) {
                              return almost_equal(a, b, 1e-12, 1e-12);
                            }),
                points.end());
+}
+
+/// Iterative expansion of P_i(D_i): the recursion applies, along every
+/// path, the snaps t -> floor(t/T_j)*T_j for a subset of j in decreasing-j
+/// order -- so one pass per j over the accumulated set generates exactly
+/// the leaf multiset. Kept as a set (exact-equality dedup) per round, which
+/// bounds the work at O(i * |schedP_i| log) instead of the 2^i leaves of
+/// the literal recursion. A snap hitting 0 is dropped eagerly: 0 only ever
+/// snaps back to 0 and the leaf filter discards it anyway, and on hostile
+/// sets (most T_r above D_i) the zeros alone would branch 2^i times.
+std::vector<double> expand_points(const TaskSet& ts, std::size_t i) {
+  std::vector<double> points{ts[i].deadline};
+  for (std::size_t r = i; r-- > 0;) {
+    const double period = ts[r].period;
+    // Points only shrink under snapping, so D_i snapping to 0 means every
+    // current point does: the round adds nothing.
+    if (floor_ratio(ts[i].deadline, period) <= 0) continue;
+    std::vector<double> snapped;
+    snapped.reserve(points.size());
+    for (const double t : points) {
+      const double s = static_cast<double>(floor_ratio(t, period)) * period;
+      if (s > 0.0) snapped.push_back(s);
+    }
+    points.insert(points.end(), snapped.begin(), snapped.end());
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+  }
   return points;
+}
+
+}  // namespace
+
+std::vector<double> scheduling_points(const TaskSet& ts, std::size_t i) {
+  FLEXRT_REQUIRE(i < ts.size(), "task index out of range");
+  std::vector<double> points = expand_points(ts, i);
+  sort_dedup(points);
+  return points;
+}
+
+BoundedSchedPoints bounded_scheduling_points(const TaskSet& ts, std::size_t i,
+                                             const FpPointOptions& opts) {
+  FLEXRT_REQUIRE(i < ts.size(), "task index out of range");
+  BoundedSchedPoints out;
+
+  // schedP_i is pruned from the multiples set {k*T_j <= D_i} u {D_i}, so
+  // this O(i) bound decides exactness without enumerating anything.
+  const double deadline = ts[i].deadline;
+  std::size_t size_bound = 1;
+  for (std::size_t j = 0; j < i && (opts.max_points == 0 ||
+                                    size_bound <= opts.max_points);
+       ++j) {
+    const std::int64_t k = floor_ratio(deadline, ts[j].period);
+    if (k > 0) size_bound += static_cast<std::size_t>(k);
+  }
+  if (opts.max_points == 0 || size_bound <= opts.max_points) {
+    out.times = scheduling_points(ts, i);
+    return out;  // exact; ends stays empty ("identical to times")
+  }
+  out.exact = false;
+
+  // Hyperplane-bound pruning (see the header): no admissible supply
+  // (Z(t) <= t) can pass below t_lo, so the grid starts there.
+  double wcet_sum = ts[i].wcet;
+  double hp_util = 0.0;
+  for (std::size_t j = 0; j < i; ++j) {
+    wcet_sum += ts[j].wcet;
+    hp_util += ts[j].utilization();
+  }
+  double t_lo = wcet_sum;
+  if (hp_util < 1.0) {
+    t_lo = std::max(t_lo, ts[i].wcet / (1.0 - hp_util));
+  } else {
+    t_lo = deadline;  // workload outgrows any supply: only D_i remains
+  }
+  t_lo = std::min(t_lo, deadline);
+
+  if (deadline <= t_lo * (1.0 + 1e-12)) {
+    // Degenerate window: the single real point (D_i, W_i(D_i)).
+    out.times = {deadline};
+    out.ends = {deadline};
+    return out;
+  }
+
+  // Geometric bucket grid on [t_lo, D_i]: bucket k is (times[k], ends[k]) =
+  // (g_{k-1}, g_k). Geometric spacing matches the log-uniform period
+  // spreads of the hostile generators. The bucket count snaps down to a
+  // power of two: grids are then nested (k/m is a subset of k/2m) for ANY
+  // non-decreasing budget sequence -- including a next_budget_rung ladder
+  // whose last step is clamped to a non-power-of-two cap -- which is what
+  // makes the ladder monotone non-worsening.
+  const std::size_t buckets = std::bit_floor(opts.max_points);
+  const double ratio = deadline / t_lo;
+  out.times.reserve(buckets);
+  out.ends.reserve(buckets);
+  double start = t_lo;
+  for (std::size_t k = 1; k <= buckets; ++k) {
+    const double end =
+        k == buckets
+            ? deadline
+            : t_lo * std::pow(ratio, static_cast<double>(k) /
+                                         static_cast<double>(buckets));
+    if (end <= start) continue;  // pow rounding collapsed the bucket
+    out.times.push_back(start);
+    out.ends.push_back(end);
+    start = end;
+  }
+  return out;
 }
 
 }  // namespace flexrt::rt

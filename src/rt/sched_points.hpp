@@ -19,19 +19,20 @@ namespace flexrt::rt {
 ///
 /// Returns the points sorted ascending with duplicates removed; all points
 /// are > 0 (a floor can hit 0, which is never a useful test point and is
-/// dropped).
+/// dropped). Computed iteratively (one snapping pass per higher-priority
+/// task over the accumulated set), so the cost is O(i * |schedP_i| log)
+/// rather than the 2^i of the literal recursion.
 std::vector<double> scheduling_points(const TaskSet& ts, std::size_t i);
 
 // ---------------------------------------------------------------------------
-// Test-point sets and the QPA horizon (where the EDF points come from)
+// Point budgets: the QPA horizon (EDF) and FP point condensation
 // ---------------------------------------------------------------------------
-// FP probes use the per-task scheduling points above, whose size is bounded
-// by the priority structure alone. The EDF side instead tests dlSet(T) --
-// every absolute deadline D_i + k*T_i up to the hyperperiod -- which blows
-// up for co-prime-ish period mixes. rt/deadline_bound.hpp bounds it with the
-// Quick Processor-demand Analysis (QPA) horizon of Zhang & Burns (IEEE TC
-// 2009), generalized from the dedicated processor to a partition supply with
-// linear floor Z(t) >= alpha*(t - Delta):
+// The EDF side tests dlSet(T) -- every absolute deadline D_i + k*T_i up to
+// the hyperperiod -- which blows up for co-prime-ish period mixes.
+// rt/deadline_bound.hpp bounds it with the Quick Processor-demand Analysis
+// (QPA) horizon of Zhang & Burns (IEEE TC 2009), generalized from the
+// dedicated processor to a partition supply with linear floor
+// Z(t) >= alpha*(t - Delta):
 //
 //   dbf(t) <= U*t + c,   c = sum_i C_i (T_i - D_i) / T_i     (D_i <= T_i)
 //
@@ -45,5 +46,96 @@ std::vector<double> scheduling_points(const TaskSet& ts, std::size_t i);
 // H and has slope Q/P >= U covers every deadline past H. Coalescing
 // (demand at a bucket's last deadline tested against supply at its first)
 // keeps truncated sets safely over-approximate; see bounded_deadline_set().
+//
+// The FP side has no hyperperiod to fear, but |schedP_i| still grows
+// steeply with the number of higher-priority tasks (it is pruned from the
+// multiples set {k*T_j <= D_i}, whose size is sum_j floor(D_i/T_j)), so
+// n ~ 10^3 FP analyses need their own budget. The condensation algebra is
+// the dual of the EDF one, because the FP test is an EXISTS over points
+// where EDF is a FORALL:
+//
+//   schedulable_i  <=>  exists t in (0, D_i] : W_i(t) <= Z(t).
+//
+//  1. Hyperplane-bound pruning. W_i(t) lies above its linear lower bound
+//     (each ceil(t/T_j) >= max(1, t/T_j)):
+//
+//       W_i(t) >= max( sum_{j<=i} C_j,  C_i + U_hp * t ),   U_hp = sum_{j<i} U_j,
+//
+//     while every admissible supply obeys Z(t) <= t. Points below
+//
+//       t_lo = max( sum_{j<=i} C_j,  C_i / (1 - U_hp) )
+//
+//     can therefore never satisfy the inequality for ANY supply: pruning
+//     (0, t_lo) loses nothing -- it is exact, not merely safe.
+//  2. Bucket coalescing. [t_lo, D_i] is split into max_points geometric
+//     buckets [g_{k-1}, g_k]; bucket k is tested as the pair
+//     (supply at its FIRST point, workload at its LAST point):
+//     W_i(g_k) <= Z(g_{k-1}). W_i is non-decreasing and Z non-decreasing,
+//     so a bucket pass implies W_i(t) <= Z(t) at every t in the bucket --
+//     in particular at real scheduling points. An EXISTS test over harder
+//     pairs can only under-accept: condensed-schedulable => schedulable.
+//     Likewise q(t, W) (hier::quantum_for_point) is decreasing in t and
+//     increasing in W, so q(g_{k-1}, W_i(g_k)) dominates q at every point
+//     in the bucket and condensed minQ >= exact minQ.
+//  3. Workload overbound. A condensed task's W_i at the bucket ends is
+//     itself evaluated through the hyperplane bound ceil(t/T) <= t/T + 1
+//     (rt::AnalysisContext), collapsing each evaluation to prefix sums
+//     over the period-sorted higher-priority tasks -- the cache build
+//     stays near-linear at n ~ 10^3. Overestimating W only hardens the
+//     EXISTS test, so safety is untouched; exact tasks keep the exact sum.
+//
+// The bucket count is the largest power of two not exceeding max_points,
+// so the grids of any two budgets b <= b' are nested (grid k/m is a subset
+// of grid k/2m), each sub-bucket's pair is dominated by its parent
+// bucket's, and the overbound is budget-independent: answers refine
+// monotonically along any growing budget sequence -- in particular a
+// next_budget_rung ladder whose final step is clamped to a
+// non-power-of-two cap -- the same non-worsening contract the EDF
+// condensation gives the adaptive-accuracy ladder (svc::AccuracyPolicy).
+
+/// Default per-task |schedP_i| budget (FpPointOptions::max_points). Smaller
+/// than the EDF dlSet budget because it is per *task* (an n-task set holds
+/// n point sets) and because the exact-enumeration attempt it gates costs
+/// O(i * budget log budget) per task. Paper-scale sets (n <= 13, menu
+/// periods) stay exact under it; hostile n ~ 10^3 sets condense.
+inline constexpr std::size_t kDefaultFpPointBudget = 1u << 8;
+
+/// Options bounding and condensing the FP scheduling-point sets. The
+/// accuracy ladder doubles max_points via rt::next_budget_rung, exactly as
+/// it doubles DlBoundOptions::max_points on the EDF side.
+struct FpPointOptions {
+  /// Per-task budget on |schedP_i|: task i falls back to the condensed
+  /// bucket grid (of bit_floor(max_points) buckets, see the nesting note
+  /// above) when the multiples-set bound 1 + sum_j floor(D_i/T_j) exceeds
+  /// it. 0 disables condensation (always enumerate exactly).
+  std::size_t max_points = kDefaultFpPointBudget;
+};
+
+/// The bounded/condensed scheduling points of one task plus their
+/// provenance. When `exact` is true, `times` is schedP_i verbatim and the
+/// per-point tests are exact; otherwise (times[k], ends[k]) are the
+/// conservative bucket pairs described above (supply side, workload side)
+/// and tests over them form a safe sufficient test.
+struct BoundedSchedPoints {
+  /// Supply-side test times, sorted ascending: the first point of each
+  /// bucket (== schedP_i when exact).
+  std::vector<double> times;
+  /// Workload-side time of each bucket (its last point). Left EMPTY when
+  /// exact, meaning "identical to times".
+  std::vector<double> ends;
+  /// True iff times is the full Bini-Buttazzo set.
+  bool exact = true;
+
+  /// The times workloads and job counts are evaluated at -- the one place
+  /// that decodes the empty-ends representation above.
+  const std::vector<double>& workload_times() const noexcept {
+    return ends.empty() ? times : ends;
+  }
+};
+
+/// Builds the bounded/condensed scheduling points of task i. Deterministic:
+/// depends only on the task set, i, and the options.
+BoundedSchedPoints bounded_scheduling_points(const TaskSet& ts, std::size_t i,
+                                             const FpPointOptions& opts = {});
 
 }  // namespace flexrt::rt

@@ -15,8 +15,24 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-std::size_t resolve_budget(std::size_t points) noexcept {
-  return points ? points : rt::kDefaultDlPointBudget;
+std::size_t resolve_budget(std::size_t points, hier::Scheduler alg) noexcept {
+  if (points) return points;
+  return alg == hier::Scheduler::FP ? rt::kDefaultFpPointBudget
+                                    : rt::kDefaultDlPointBudget;
+}
+
+/// Fills the provenance of one probe round from the engine that ran it.
+/// Asked *after* probing, so the exactness answers describe the
+/// materialized caches (see BatchEngine::dl_exact).
+bool record_probe(const analysis::BatchEngine& eng, std::size_t round,
+                  std::size_t budget, Provenance& prov) {
+  prov.probes = round;
+  prov.budget = budget;
+  prov.dl_exact = eng.dl_exact();
+  prov.fp_exact = eng.fp_exact();
+  prov.fp_budget =
+      eng.scheduler() == hier::Scheduler::FP ? eng.fp_options().max_points : 0;
+  return prov.dl_exact && prov.fp_exact;
 }
 
 /// Drives the accuracy ladder for one entry: probe at the initial budget,
@@ -26,18 +42,16 @@ std::size_t resolve_budget(std::size_t points) noexcept {
 /// keep refining" (e.g. the feasibility verdict flipped).
 template <typename Value, typename EngineAt, typename Probe, typename Move>
 Value run_ladder(const EngineAt& engine_at, const AccuracyPolicy& pol,
-                 const Probe& probe, const Move& move, Provenance& prov) {
-  std::size_t budget = resolve_budget(pol.initial_points);
+                 hier::Scheduler alg, const Probe& probe, const Move& move,
+                 Provenance& prov) {
+  std::size_t budget = resolve_budget(pol.initial_points, alg);
   const std::size_t cap = std::max(budget, pol.max_points);
   Value value{};
   std::optional<Value> prev;
   for (std::size_t round = 1;; ++round) {
     const analysis::BatchEngine& eng = engine_at(budget);
     value = probe(eng);
-    prov.probes = round;
-    prov.budget = budget;
-    prov.dl_exact = eng.dl_exact();
-    if (prov.dl_exact) {
+    if (record_probe(eng, round, budget, prov)) {
       prov.gap = 0.0;
       break;
     }
@@ -113,7 +127,7 @@ const core::ModeTaskSystem& AnalysisService::system(std::size_t i) const {
 const analysis::BatchEngine& AnalysisService::engine(
     std::size_t i, hier::Scheduler alg, std::size_t max_points) const {
   const core::ModeTaskSystem& sys = system(i);  // validates the entry
-  const std::size_t budget = resolve_budget(max_points);
+  const std::size_t budget = resolve_budget(max_points, alg);
   const EngineKey key{i, static_cast<int>(alg), budget};
   {
     std::scoped_lock lock(mu_);
@@ -122,10 +136,15 @@ const analysis::BatchEngine& AnalysisService::engine(
   }
   // Construct outside the lock -- fleet requests hit this from every
   // worker at once, and serializing the task-set snapshots would bottleneck
-  // the fan-out. A losing duplicate is simply discarded.
-  rt::DlBoundOptions opts;
-  opts.max_points = budget;
-  auto built = std::make_unique<analysis::BatchEngine>(sys, alg, opts);
+  // the fan-out. A losing duplicate is simply discarded. The one budget
+  // feeds whichever condensation the scheduler consults (dlSet under EDF,
+  // per-task scheduling points under FP).
+  rt::DlBoundOptions dl_opts;
+  dl_opts.max_points = budget;
+  rt::FpPointOptions fp_opts;
+  fp_opts.max_points = budget;
+  auto built = std::make_unique<analysis::BatchEngine>(sys, alg, dl_opts,
+                                                       fp_opts);
   std::scoped_lock lock(mu_);
   const auto [it, inserted] = engines_.emplace(key, std::move(built));
   return *it->second;
@@ -166,7 +185,7 @@ SolveResult AnalysisService::solve_one(std::size_t i,
     using Value = std::optional<core::Design>;
     std::string why;
     const Value design = run_ladder<Value>(
-        engine_at, req.accuracy,
+        engine_at, req.accuracy, req.alg,
         [&](const analysis::BatchEngine& eng) -> Value {
           try {
             return core::solve_design(eng, req.overheads, req.goal,
@@ -197,7 +216,7 @@ MinQuantumResult AnalysisService::min_quantum_one(
       return engine(i, req.alg, budget);
     };
     out.mode_quantum = run_ladder<std::array<double, 3>>(
-        engine_at, req.accuracy,
+        engine_at, req.accuracy, req.alg,
         [&](const analysis::BatchEngine& eng) {
           std::array<double, 3> q{};
           for (std::size_t m = 0; m < core::kAllModes.size(); ++m) {
@@ -219,7 +238,7 @@ RegionSweepResult AnalysisService::region_sweep_one(
       return engine(i, req.alg, budget);
     };
     out.samples = run_ladder<std::vector<core::RegionSample>>(
-        engine_at, req.accuracy,
+        engine_at, req.accuracy, req.alg,
         [&](const analysis::BatchEngine& eng) {
           return eng.sample_region(req.search);
         },
@@ -244,7 +263,7 @@ SensitivityResult AnalysisService::sensitivity_one(
     };
     using Value = std::pair<std::vector<core::TaskMargin>, double>;
     const Value value = run_ladder<Value>(
-        engine_at, req.accuracy,
+        engine_at, req.accuracy, req.alg,
         [&](const analysis::BatchEngine& eng) -> Value {
           if (!req.task.empty()) {
             core::TaskMargin row{req.task, rt::Mode::NF, 0.0,
@@ -290,23 +309,21 @@ VerifyResult AnalysisService::verify_one(std::size_t i,
   return run_entry<VerifyResult>(i, [&](VerifyResult& out) {
     // Hand-rolled ladder: a condensed "schedulable" is already safe and
     // definitive, so adaptive accuracy only escalates a condensed "no".
-    std::size_t budget = resolve_budget(req.accuracy.initial_points);
+    std::size_t budget = resolve_budget(req.accuracy.initial_points, req.alg);
     const std::size_t cap = std::max(budget, req.accuracy.max_points);
+    bool exact = false;
     for (std::size_t round = 1;; ++round) {
       const analysis::BatchEngine& eng = engine(i, req.alg, budget);
       out.schedulable = eng.verify(req.schedule, req.use_exact_supply);
-      out.prov.probes = round;
-      out.prov.budget = budget;
-      out.prov.dl_exact = eng.dl_exact();
-      if (out.schedulable || out.prov.dl_exact || !req.accuracy.is_adaptive ||
+      exact = record_probe(eng, round, budget, out.prov);
+      if (out.schedulable || exact || !req.accuracy.is_adaptive ||
           budget >= cap) {
         break;
       }
       budget = rt::next_budget_rung(budget, cap);
     }
-    out.prov.gap = (out.schedulable || out.prov.dl_exact)
-                       ? std::optional<double>(0.0)
-                       : std::nullopt;
+    out.prov.gap = (out.schedulable || exact) ? std::optional<double>(0.0)
+                                              : std::nullopt;
   });
 }
 

@@ -39,10 +39,13 @@ namespace flexrt::svc {
 /// Every request takes an AccuracyPolicy. `fixed` probes once at one
 /// budget (the default budget reproduces the BatchEngine/solve_design
 /// answers bit for bit -- parity-tested). `adaptive(tol)` starts from a
-/// small budget and re-probes with a doubled rt::DlBoundOptions budget
-/// until the answer moves by <= tol, the deadline sets become exact, or
-/// the budget cap is reached: the per-probe accuracy knob for
-/// hyperperiod-hostile systems where exactness is unaffordable.
+/// small budget and re-probes with a doubled budget until the answer
+/// moves by <= tol, the analysis becomes exact, or the budget cap is
+/// reached: the per-probe accuracy knob for systems where exactness is
+/// unaffordable. The one budget knob drives whichever condensation the
+/// scheduler uses -- the EDF dlSet budget (rt::DlBoundOptions) or the
+/// per-task FP scheduling-point budget (rt::FpPointOptions) -- so the
+/// ladder is scheduler-agnostic.
 ///
 /// The one-system free functions in core/integration.hpp,
 /// core/sensitivity.hpp and core::solve_design(sys, ...) are thin wrappers
@@ -52,9 +55,10 @@ namespace flexrt::svc {
 /// request menu (e.g. an overhead sweep) reuses each system's caches.
 
 /// Per-request accuracy policy; default-constructed == fixed at the
-/// library-default dlSet budget (the bit-for-bit parity configuration).
+/// library-default budget (the bit-for-bit parity configuration).
 struct AccuracyPolicy {
-  /// One probe at `points` (0 = rt::kDefaultDlPointBudget).
+  /// One probe at `points` (0 = the scheduler's library default:
+  /// rt::kDefaultDlPointBudget for EDF, rt::kDefaultFpPointBudget for FP).
   static AccuracyPolicy fixed(std::size_t points = 0) noexcept {
     AccuracyPolicy p;
     p.initial_points = points;
@@ -77,7 +81,7 @@ struct AccuracyPolicy {
   }
 
   bool is_adaptive = false;
-  /// First (adaptive) / only (fixed) dlSet budget; 0 = library default.
+  /// First (adaptive) / only (fixed) point budget; 0 = library default.
   std::size_t initial_points = 0;
   /// Adaptive stop: answer moved <= tol between consecutive rounds.
   double tol = 0.0;
@@ -87,12 +91,19 @@ struct AccuracyPolicy {
 
 /// How an answer was obtained -- attached to every result.
 struct Provenance {
-  /// Final probe ran on exact (full-hyperperiod) deadline sets; FP-side
-  /// analyses are always exact. When false the answer is a safe
-  /// over-approximation.
+  /// Final probe ran on exact (full-hyperperiod) deadline sets; trivially
+  /// true for FP requests (the EDF side is never consulted). When false
+  /// the answer is a safe over-approximation.
   bool dl_exact = true;
-  /// dlSet point budget of the final probe.
+  /// FP twin of dl_exact: final probe ran on full Bini-Buttazzo point
+  /// sets; trivially true for EDF requests.
+  bool fp_exact = true;
+  /// Point budget of the final probe (dlSet budget under EDF, per-task
+  /// scheduling-point budget under FP).
   std::size_t budget = 0;
+  /// The per-task FP point budget of the final probe; 0 for EDF requests
+  /// (whose budget is the dlSet one above).
+  std::size_t fp_budget = 0;
   /// Number of accuracy rounds executed (1 under fixed).
   std::size_t probes = 1;
   /// Measured over-approximation gap: 0 when exact, the last inter-round
@@ -265,8 +276,9 @@ class AnalysisService {
   /// The cached per-(entry, scheduler, budget) probe engine -- the escape
   /// hatch for engine-level probes the typed requests do not cover
   /// (max_admissible_overhead, one-task margins, ...). `max_points` 0
-  /// means the library default budget. Engines are immutable and safe to
-  /// probe concurrently.
+  /// means the scheduler's library default budget (dlSet budget for EDF,
+  /// per-task scheduling-point budget for FP). Engines are immutable and
+  /// safe to probe concurrently.
   const analysis::BatchEngine& engine(std::size_t i, hier::Scheduler alg,
                                       std::size_t max_points = 0) const;
 

@@ -215,6 +215,88 @@ TEST_F(ServiceOnStressSet, AdaptiveMinQuantumConvergesAndReportsBudget) {
   EXPECT_GT(q_adapt, 0.0);
 }
 
+class ServiceOnFpStressSet : public ::testing::Test {
+ protected:
+  ServiceOnFpStressSet() {
+    gen::StressParams sp;
+    sp.num_tasks = 200;
+    sp.total_utilization = 0.5;
+    Rng rng(0xFB0);
+    stress_ = gen::generate_stress_set_fp(sp, rng);
+    service_.add_system(core::ModeTaskSystem({}, {}, {stress_}), "fp-stress");
+  }
+  rt::TaskSet stress_;
+  AnalysisService service_;
+};
+
+TEST_F(ServiceOnFpStressSet, FixedPolicyMatchesDirectEngineBitForBit) {
+  // The one accuracy knob drives the FP point budget: a fixed-budget FP
+  // request must reproduce a BatchEngine built with the same FpPointOptions
+  // bit for bit, and report the FP provenance.
+  const double period = 0.8;
+  const std::size_t budget = 1u << 6;
+  rt::FpPointOptions fp_opts;
+  fp_opts.max_points = budget;
+  rt::DlBoundOptions dl_opts;
+  dl_opts.max_points = budget;
+  const analysis::BatchEngine engine(service_.system(0), Scheduler::FP,
+                                     dl_opts, fp_opts);
+  const MinQuantumResult r = service_.min_quantum_one(
+      0, {Scheduler::FP, period, false, AccuracyPolicy::fixed(budget)});
+  ASSERT_TRUE(r.ok());
+  for (std::size_t m = 0; m < core::kAllModes.size(); ++m) {
+    EXPECT_EQ(r.mode_quantum[m],
+              engine.mode_min_quantum(core::kAllModes[m], period));
+  }
+  EXPECT_TRUE(r.prov.dl_exact);   // EDF side never consulted under FP
+  EXPECT_FALSE(r.prov.fp_exact);  // point-hostile: condensed
+  EXPECT_EQ(r.prov.budget, budget);
+  EXPECT_EQ(r.prov.fp_budget, budget);
+  EXPECT_FALSE(r.prov.gap.has_value());  // fixed + condensed: unknown
+
+  // Verify rides the same engine: quantum at the condensed minQ passes and
+  // carries the same provenance fields.
+  core::ModeSchedule schedule;
+  schedule.period = period;
+  schedule.nf = {std::min(period, r.mode_quantum[2] * 1.001), 0.0};
+  const VerifyResult v = service_.verify_one(
+      0, {Scheduler::FP, schedule, false, AccuracyPolicy::fixed(budget)});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.schedulable, engine.verify(schedule));
+  EXPECT_TRUE(v.schedulable);
+  EXPECT_EQ(v.prov.fp_budget, budget);
+}
+
+TEST_F(ServiceOnFpStressSet, AdaptiveFpLadderConvergesAndReportsBudget) {
+  const double period = 0.8;
+  const MinQuantumResult at_small = service_.min_quantum_one(
+      0, {Scheduler::FP, period, false, AccuracyPolicy::fixed(1u << 5)});
+  ASSERT_TRUE(at_small.ok());
+  EXPECT_FALSE(at_small.prov.fp_exact);
+
+  const double tol = 1e-3;
+  const MinQuantumResult r = service_.min_quantum_one(
+      0, {Scheduler::FP, period, false,
+          AccuracyPolicy::adaptive(tol, 1u << 5, 1u << 14)});
+  ASSERT_TRUE(r.ok());
+  // Converged within the cap: the stop was the tolerance or exactness.
+  ASSERT_TRUE(r.prov.gap.has_value());
+  EXPECT_LE(*r.prov.gap, tol);
+  EXPECT_GT(r.prov.probes, 1u);
+  EXPECT_GT(r.prov.budget, std::size_t{1} << 5);
+  // Monotone non-worsening along the rungs.
+  EXPECT_LE(r.mode_quantum[2], at_small.mode_quantum[2] + 1e-9);
+  EXPECT_GT(r.mode_quantum[2], 0.0);
+}
+
+TEST_F(ServiceOnStressSet, EdfRequestsReportTrivialFpProvenance) {
+  const MinQuantumResult r = service_.min_quantum_one(
+      0, {Scheduler::EDF, 0.4, false, AccuracyPolicy::fixed(1u << 8)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.prov.fp_exact);  // FP side never consulted under EDF
+  EXPECT_EQ(r.prov.fp_budget, 0u);
+}
+
 TEST_F(ServiceOnStressSet, BudgetLadderIsMonotoneNonWorsening) {
   const double period = 0.4;
   double prev = std::numeric_limits<double>::infinity();
@@ -361,6 +443,32 @@ TEST(JsonRow, KeyInsideStringValueDoesNotConfuseTheScanner) {
   JsonRow row;
   row.field("name", "\"trial\":99,").field("trial", std::size_t{7});
   EXPECT_EQ(json_number_field(row.str(), "trial").value_or(-1), 7.0);
+}
+
+TEST(JsonRow, RoundTripsProvenanceFields) {
+  // The provenance block every flexrt_design row carries, including the
+  // FP condensation fields introduced with the FP point budget.
+  Provenance prov;
+  prov.dl_exact = true;
+  prov.fp_exact = false;
+  prov.budget = 1u << 6;
+  prov.fp_budget = 1u << 6;
+  prov.probes = 3;
+  prov.gap = 0.125;
+  JsonRow row;
+  row.field("dl_exact", prov.dl_exact)
+      .field("fp_exact", prov.fp_exact)
+      .field("budget", prov.budget)
+      .field("fp_budget", prov.fp_budget)
+      .field("probes", prov.probes)
+      .field("gap", *prov.gap);
+  const std::string s = row.str();
+  EXPECT_EQ(json_bool_field(s, "dl_exact").value_or(false), true);
+  EXPECT_EQ(json_bool_field(s, "fp_exact").value_or(true), false);
+  EXPECT_EQ(json_number_field(s, "budget").value_or(-1), 64.0);
+  EXPECT_EQ(json_number_field(s, "fp_budget").value_or(-1), 64.0);
+  EXPECT_EQ(json_number_field(s, "probes").value_or(-1), 3.0);
+  EXPECT_EQ(json_number_field(s, "gap").value_or(-1), 0.125);
 }
 
 TEST(JsonRow, NonFiniteDoublesBecomeNull) {

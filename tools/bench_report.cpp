@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -167,6 +168,34 @@ int main(int argc, char** argv) {
                       return hier::min_quantum(sctx, hier::Scheduler::EDF,
                                                2.0);
                     })});
+
+    // FP twin: the full Bini-Buttazzo point sets are astronomically large
+    // on the hostile draw, so "legacy" is the per-point O(n) fp_workload
+    // kernel over the same condensed points (the tightest baseline that
+    // still finishes) vs the cached context probe.
+    const rt::TaskSet stress_fp = benchws::stress_set_fp(1000);
+    const rt::AnalysisContext fctx(stress_fp);
+    rows.push_back(
+        {"stress_minq_fp_n1000",
+         time_ns([&] {
+           double worst = 0.0;
+           for (std::size_t i = 0; i < fctx.size(); ++i) {
+             const std::vector<double>& pts = fctx.scheduling_points(i);
+             const std::vector<double>& ends = fctx.scheduling_point_ends(i);
+             double best = std::numeric_limits<double>::infinity();
+             for (std::size_t k = 0; k < pts.size(); ++k) {
+               best = std::min(
+                   best, hier::quantum_for_point(
+                             pts[k], rt::fp_workload(stress_fp, i, ends[k]),
+                             2.0));
+             }
+             worst = std::max(worst, best);
+           }
+           return worst;
+         }),
+         time_ns([&] {
+           return hier::min_quantum(fctx, hier::Scheduler::FP, 2.0);
+         })});
 
     // Tractable twin (divisor-friendly period menu, hyperperiod 120): the
     // real pre-refactor path runs, so the ratio is a true before/after.

@@ -221,7 +221,9 @@ void load_fleet(svc::AnalysisService& service,
 void provenance_fields(svc::JsonRow& row, const svc::Provenance& p,
                        bool with_wall = true) {
   row.field("dl_exact", p.dl_exact)
+      .field("fp_exact", p.fp_exact)
       .field("budget", p.budget)
+      .field("fp_budget", p.fp_budget)
       .field("probes", p.probes);
   if (p.gap) {
     row.field("gap", *p.gap);
@@ -233,9 +235,16 @@ void provenance_fields(svc::JsonRow& row, const svc::Provenance& p,
 
 std::string provenance_note(const svc::Provenance& p) {
   std::ostringstream os;
-  os << (p.dl_exact ? "exact dlSet" : "condensed dlSet") << ", budget "
-     << p.budget << ", " << p.probes << (p.probes == 1 ? " probe" : " probes");
-  if (p.gap && !p.dl_exact) os << ", gap <= " << *p.gap;
+  // fp_budget > 0 marks an FP request, whose budget knob condenses the
+  // per-task scheduling points rather than the dlSet.
+  if (p.fp_budget > 0) {
+    os << (p.fp_exact ? "exact schedP" : "condensed schedP");
+  } else {
+    os << (p.dl_exact ? "exact dlSet" : "condensed dlSet");
+  }
+  os << ", budget " << p.budget << ", " << p.probes
+     << (p.probes == 1 ? " probe" : " probes");
+  if (p.gap && !(p.dl_exact && p.fp_exact)) os << ", gap <= " << *p.gap;
   return os.str();
 }
 
