@@ -1,5 +1,6 @@
 #include "common/parallel.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -138,6 +139,13 @@ void run_loop(std::size_t n,
 std::size_t thread_count() noexcept {
   static const std::size_t count = resolve_thread_count();
   return count;
+}
+
+std::size_t default_stream_window() noexcept {
+  // 4 slots per worker: enough slack that a worker finishing early is not
+  // gated on the stream head, while keeping peak buffering a small constant
+  // multiple of the thread count.
+  return std::max<std::size_t>(8, 4 * thread_count());
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {

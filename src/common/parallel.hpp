@@ -1,7 +1,16 @@
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
 
 namespace flexrt::par {
 
@@ -35,5 +44,82 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 void parallel_for_chunked(
     std::size_t n,
     const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Reorder window for ordered_stream when the caller passes 0: wide enough
+/// to keep every worker busy, small enough that peak buffering stays a
+/// constant multiple of the thread count rather than the loop size.
+std::size_t default_stream_window() noexcept;
+
+/// Ordered streaming loop: computes make(i) for every i in [0, n) across
+/// the parallel_for pool and delivers each result to emit(i, value) in
+/// strict index order, buffering at most `window` out-of-order results
+/// (window 0 = default_stream_window()). This is the bounded-memory
+/// counterpart of the preallocated-results-vector pattern: peak buffering
+/// is O(window), not O(n).
+///
+/// How the bound is enforced without deadlock: indices are handed out one
+/// at a time through an atomic ticket (so issue order == index order), and
+/// a worker blocks before computing index i until i < next_emit + window.
+/// The head index (next_emit) is always held by a worker that is past the
+/// gate, so the stream always progresses for any window >= 1.
+///
+/// emit runs under the stream lock: exactly one emission at a time, in
+/// order -- safe to write an ostream from. An exception thrown by make(i)
+/// drops that index from the stream and is rethrown (first one wins) after
+/// the loop drains; exceptions from emit propagate the same way.
+///
+/// Returns the reorder buffer's high-water mark (<= window), the number
+/// the stream_fleet bench row reports against the fleet size.
+template <typename Make, typename Emit>
+std::size_t ordered_stream(std::size_t n, std::size_t window, Make&& make,
+                           Emit&& emit) {
+  using Value = std::invoke_result_t<Make&, std::size_t>;
+  if (window == 0) window = default_stream_window();
+  struct Slot {
+    std::optional<Value> value;
+    std::exception_ptr error;
+  };
+  std::mutex mu;
+  std::condition_variable gate;
+  std::map<std::size_t, Slot> pending;
+  std::size_t next_emit = 0;
+  std::size_t high_water = 0;
+  std::atomic<std::size_t> ticket{0};
+  std::exception_ptr first_error;
+  parallel_for(n, [&](std::size_t) {
+    const std::size_t i = ticket.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      gate.wait(lock, [&] { return i < next_emit + window; });
+    }
+    Slot slot;
+    try {
+      slot.value.emplace(make(i));
+    } catch (...) {
+      // The slot must still complete -- a lost ticket would stall the
+      // stream head and deadlock the gated workers behind it.
+      slot.error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    pending.emplace(i, std::move(slot));
+    high_water = std::max(high_water, pending.size());
+    while (!pending.empty() && pending.begin()->first == next_emit) {
+      auto node = pending.extract(pending.begin());
+      ++next_emit;
+      if (node.mapped().error) {
+        if (!first_error) first_error = node.mapped().error;
+      } else if (!first_error) {
+        try {
+          emit(next_emit - 1, std::move(*node.mapped().value));
+        } catch (...) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+    gate.notify_all();
+  });
+  if (first_error) std::rethrow_exception(first_error);
+  return high_water;
+}
 
 }  // namespace flexrt::par

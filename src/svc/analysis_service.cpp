@@ -40,6 +40,14 @@ bool record_probe(const analysis::BatchEngine& eng, std::size_t round,
 /// exact, stops moving (move <= tol), or the cap is reached. `move` returns
 /// the distance between consecutive answers; +inf means "not comparable,
 /// keep refining" (e.g. the feasibility verdict flipped).
+///
+/// Gap semantics: prov.gap is set only when the final answer is trustworthy
+/// at the requested accuracy -- 0 when the probe turned exact, the last
+/// inter-round move when the ladder converged (<= tol). A ladder that
+/// exhausts the budget cap while the answer is still moving reports
+/// nullopt: the last measured move bounds nothing about the distance to the
+/// exact answer, so reporting it as "the gap" would overstate the capped
+/// answer's accuracy.
 template <typename Value, typename EngineAt, typename Probe, typename Move>
 Value run_ladder(const EngineAt& engine_at, const AccuracyPolicy& pol,
                  hier::Scheduler alg, const Probe& probe, const Move& move,
@@ -61,10 +69,15 @@ Value run_ladder(const EngineAt& engine_at, const AccuracyPolicy& pol,
     }
     if (prev) {
       const double m = move(*prev, value);
-      prov.gap = std::isfinite(m) ? std::optional<double>(m) : std::nullopt;
-      if (m <= pol.tol) break;
+      if (m <= pol.tol) {
+        prov.gap = m;  // converged: the last move is the measured gap
+        break;
+      }
     }
-    if (budget >= cap) break;  // ladder exhausted; gap = last move (if any)
+    if (budget >= cap) {
+      prov.gap = std::nullopt;  // exhausted while still moving: gap unknown
+      break;
+    }
     prev = std::move(value);
     budget = rt::next_budget_rung(budget, cap);
   }
@@ -363,6 +376,55 @@ std::vector<VerifyResult> AnalysisService::verify(
   par::parallel_for(size(),
                     [&](std::size_t i) { out[i] = verify_one(i, req); });
   return out;
+}
+
+template <typename One, typename Sink>
+StreamStats AnalysisService::stream_entries(const One& one, const Sink& sink,
+                                            std::size_t window) const {
+  StreamStats stats;
+  stats.window = window ? window : par::default_stream_window();
+  stats.max_buffered = par::ordered_stream(
+      size(), stats.window, [&](std::size_t i) { return one(i); },
+      [&](std::size_t, auto&& result) {
+        sink(result);
+        ++stats.emitted;
+      });
+  return stats;
+}
+
+StreamStats AnalysisService::solve(const SolveRequest& req,
+                                   const SolveSink& sink,
+                                   std::size_t window) const {
+  return stream_entries([&](std::size_t i) { return solve_one(i, req); }, sink,
+                        window);
+}
+
+StreamStats AnalysisService::min_quantum(const MinQuantumRequest& req,
+                                         const MinQuantumSink& sink,
+                                         std::size_t window) const {
+  return stream_entries([&](std::size_t i) { return min_quantum_one(i, req); },
+                        sink, window);
+}
+
+StreamStats AnalysisService::region_sweep(const RegionSweepRequest& req,
+                                          const RegionSweepSink& sink,
+                                          std::size_t window) const {
+  return stream_entries([&](std::size_t i) { return region_sweep_one(i, req); },
+                        sink, window);
+}
+
+StreamStats AnalysisService::sensitivity(const SensitivityRequest& req,
+                                         const SensitivitySink& sink,
+                                         std::size_t window) const {
+  return stream_entries([&](std::size_t i) { return sensitivity_one(i, req); },
+                        sink, window);
+}
+
+StreamStats AnalysisService::verify(const VerifyRequest& req,
+                                    const VerifySink& sink,
+                                    std::size_t window) const {
+  return stream_entries([&](std::size_t i) { return verify_one(i, req); }, sink,
+                        window);
 }
 
 }  // namespace flexrt::svc

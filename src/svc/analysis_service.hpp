@@ -106,9 +106,13 @@ struct Provenance {
   std::size_t fp_budget = 0;
   /// Number of accuracy rounds executed (1 under fixed).
   std::size_t probes = 1;
-  /// Measured over-approximation gap: 0 when exact, the last inter-round
-  /// move when the adaptive ladder converged, nullopt when unknown (fixed
-  /// policy on a condensed set, or a one-round adaptive hit the cap).
+  /// Measured over-approximation gap. Non-null only when the final answer
+  /// is trustworthy at the requested accuracy: 0 when the probe turned
+  /// exact, or the last inter-round move when the adaptive ladder converged
+  /// (moved <= tol). nullopt means unknown: a fixed policy on a condensed
+  /// set, or an adaptive ladder that exhausted its budget cap while the
+  /// answer was still moving (the last measured move says nothing about
+  /// how far the capped answer sits from the exact one).
   std::optional<double> gap;
   /// Wall time of this entry's request, milliseconds.
   double wall_ms = 0.0;
@@ -210,6 +214,28 @@ struct VerifyResult : ResultBase {
   bool schedulable = false;
 };
 
+// --- streaming ------------------------------------------------------------
+
+/// What a streaming fleet request reports back: every row was delivered to
+/// the sink (in entry order), so the stats describe the transport, not the
+/// answers. `max_buffered <= window` is the bounded-memory guarantee the
+/// stream_fleet bench row tracks against the fleet size.
+struct StreamStats {
+  std::size_t emitted = 0;       ///< results delivered to the sink
+  std::size_t window = 0;        ///< reorder window in force
+  std::size_t max_buffered = 0;  ///< reorder-buffer high-water mark
+};
+
+/// Per-request result sinks. Called once per fleet entry, in entry order,
+/// from whichever worker completed the stream head -- one call at a time
+/// (the reassembly buffer serializes emission), so a sink writing a single
+/// ostream needs no locking of its own.
+using SolveSink = std::function<void(const SolveResult&)>;
+using MinQuantumSink = std::function<void(const MinQuantumResult&)>;
+using RegionSweepSink = std::function<void(const RegionSweepResult&)>;
+using SensitivitySink = std::function<void(const SensitivityResult&)>;
+using VerifySink = std::function<void(const VerifyResult&)>;
+
 // --- the service ----------------------------------------------------------
 
 class AnalysisService {
@@ -263,6 +289,27 @@ class AnalysisService {
       const SensitivityRequest& req) const;
   std::vector<VerifyResult> verify(const VerifyRequest& req) const;
 
+  // Streaming execution: identical per-entry computation, but each result
+  // goes to `sink` as soon as its ladder finishes, reassembled into entry
+  // order through a bounded reorder buffer (window 0 = the library default,
+  // a small multiple of the thread count). The emitted sequence is exactly
+  // the buffered vector above -- streamed output is byte-identical to the
+  // buffered path -- while peak result memory is O(window), not O(fleet):
+  // the enabler for 10^5+-trial studies.
+  StreamStats solve(const SolveRequest& req, const SolveSink& sink,
+                    std::size_t window = 0) const;
+  StreamStats min_quantum(const MinQuantumRequest& req,
+                          const MinQuantumSink& sink,
+                          std::size_t window = 0) const;
+  StreamStats region_sweep(const RegionSweepRequest& req,
+                           const RegionSweepSink& sink,
+                           std::size_t window = 0) const;
+  StreamStats sensitivity(const SensitivityRequest& req,
+                          const SensitivitySink& sink,
+                          std::size_t window = 0) const;
+  StreamStats verify(const VerifyRequest& req, const VerifySink& sink,
+                     std::size_t window = 0) const;
+
   // Single-entry execution (what the core:: wrappers use).
   SolveResult solve_one(std::size_t i, const SolveRequest& req) const;
   MinQuantumResult min_quantum_one(std::size_t i,
@@ -295,6 +342,12 @@ class AnalysisService {
 
   template <typename Result, typename Body>
   Result run_entry(std::size_t i, Body&& body) const;
+
+  /// Shared streaming transport: runs `one(i)` per entry on the pool and
+  /// feeds the ordered reassembly buffer (par::ordered_stream).
+  template <typename One, typename Sink>
+  StreamStats stream_entries(const One& one, const Sink& sink,
+                             std::size_t window) const;
 
   std::vector<Entry> entries_;
   mutable std::mutex mu_;

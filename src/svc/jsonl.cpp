@@ -3,6 +3,7 @@
 #include <array>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -112,6 +113,17 @@ JsonRow& JsonRow::null_field(std::string_view k) {
   return *this;
 }
 
+JsonlWriter& JsonlWriter::write(std::string_view row) {
+  out_ << row << '\n';
+  if (flush_per_row_) out_.flush();
+  ++rows_;
+  return *this;
+}
+
+bool json_row_complete(std::string_view line) noexcept {
+  return line.size() >= 2 && line.front() == '{' && line.back() == '}';
+}
+
 namespace {
 
 /// Position just past `"key":` at the top level of the row, or npos.
@@ -153,6 +165,55 @@ std::optional<bool> json_bool_field(std::string_view row,
   return std::nullopt;
 }
 
+namespace {
+
+/// Four hex digits at row[at, at+4), or nullopt when short or non-hex.
+std::optional<std::uint32_t> hex4(std::string_view row, std::size_t at) {
+  if (at + 4 > row.size()) return std::nullopt;
+  std::uint32_t v = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const char c = row[at + k];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<std::uint32_t>(c - 'A' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+constexpr bool is_high_surrogate(std::uint32_t cp) {
+  return cp >= 0xD800 && cp <= 0xDBFF;
+}
+constexpr bool is_low_surrogate(std::uint32_t cp) {
+  return cp >= 0xDC00 && cp <= 0xDFFF;
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+}  // namespace
+
 std::optional<std::string> json_string_field(std::string_view row,
                                              std::string_view key) {
   std::size_t at = value_pos(row, key);
@@ -174,8 +235,34 @@ std::optional<std::string> json_string_field(std::string_view row,
         case 't':
           out += '\t';
           break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          // \uXXXX: BMP code point, or the high half of a surrogate pair.
+          // json_escape emits these for control characters, so decoding is
+          // load-bearing for the round-trip, not a nicety.
+          std::optional<std::uint32_t> cp = hex4(row, at + 1);
+          if (!cp || is_low_surrogate(*cp)) return std::nullopt;
+          if (is_high_surrogate(*cp)) {
+            if (at + 6 >= row.size() || row[at + 5] != '\\' ||
+                row[at + 6] != 'u') {
+              return std::nullopt;  // lone high surrogate
+            }
+            const std::optional<std::uint32_t> lo = hex4(row, at + 7);
+            if (!lo || !is_low_surrogate(*lo)) return std::nullopt;
+            *cp = 0x10000 + ((*cp - 0xD800) << 10) + (*lo - 0xDC00);
+            at += 6;  // past "XXXX\u"; the trailing hex advances below
+          }
+          append_utf8(out, *cp);
+          at += 4;  // past the (last) four hex digits
+          break;
+        }
         default:
-          out += row[at];  // \" \\ \/ and (unsupported) \uXXXX verbatim
+          out += row[at];  // \" \\ \/ verbatim
       }
     } else {
       out += row[at];

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <ostream>
 #include <span>
 #include <string>
 #include <string_view>
@@ -41,10 +42,49 @@ class JsonRow {
 /// JSON string escaping (quotes excluded) for the writer above.
 std::string json_escape(std::string_view raw);
 
+/// Incremental JSON-lines writer: one row out per call, newline-terminated,
+/// straight to the ostream. This is the streaming counterpart of buffering
+/// rows in a vector -- a fleet request's sink can hand rows here as entries
+/// finish and peak memory stays one row, not one fleet. With
+/// `flush_per_row` (what --stream runs use) the stream is flushed after
+/// every row, so a killed run leaves at most one truncated final line
+/// (which json_row_complete below detects deterministically); buffered
+/// runs leave it off and keep normal ostream buffering.
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::ostream& out, bool flush_per_row = false)
+      : out_(out), flush_per_row_(flush_per_row) {}
+
+  /// Writes one finished row (no trailing newline expected) + '\n'.
+  JsonlWriter& write(std::string_view row);
+  JsonlWriter& write(const JsonRow& row) { return write(row.str()); }
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  bool flush_per_row_;
+  std::size_t rows_ = 0;
+};
+
+/// True when `line` is a complete JsonRow-shaped row: non-empty, starts
+/// with '{' and ends with '}'. Rows are flat (no nested objects), so a
+/// line truncated mid-row -- the tail a killed streaming run leaves --
+/// fails this check unless the cut landed right after a '}' embedded in a
+/// string value (study rows carry no such strings, so for them the check
+/// is exact; `merge`'s trial-id contiguity check backstops the rest).
+bool json_row_complete(std::string_view line) noexcept;
+
 /// Field scanners for rows *written by JsonRow*: flat objects whose keys
 /// are unique and unambiguous. Not a JSON parser -- they locate the quoted
 /// key at the top level and read the value token after the colon. Returns
 /// nullopt when the key is absent or the value has a different type.
+///
+/// json_string_field fully decodes what json_escape (and any standard JSON
+/// writer) emits: the two-character escapes plus \uXXXX, including
+/// surrogate pairs, re-encoded as UTF-8. Malformed \u escapes (bad hex,
+/// lone surrogates) make the whole field nullopt rather than silently
+/// corrupting the round-trip.
 std::optional<double> json_number_field(std::string_view row,
                                         std::string_view key);
 std::optional<bool> json_bool_field(std::string_view row,

@@ -90,5 +90,57 @@ TEST(FrameLayout, RejectsOverfullSchedule) {
   EXPECT_THROW(FrameLayout{s}, ModelError);
 }
 
+/// Window invariants every layout must satisfy after tick conversion:
+/// ordered, non-overlapping, inside the frame, and supplying no more
+/// usable time than the analysed schedule (rounding may only remove
+/// supply, never add it).
+void expect_sane_layout(const FrameLayout& f, double analysed_usable_units) {
+  Ticks prev_end = 0;
+  Ticks usable_total = 0;
+  for (const FrameLayout::Window& w : f.windows()) {
+    EXPECT_GE(w.begin, prev_end);
+    EXPECT_LE(w.begin, w.usable_end);
+    EXPECT_LE(w.usable_end, w.end);
+    EXPECT_LE(w.end, f.period());
+    usable_total += w.usable_end - w.begin;
+    prev_end = w.end;
+  }
+  EXPECT_LE(usable_total, to_ticks(analysed_usable_units));
+}
+
+TEST(FrameLayout, ZeroSlackFrameSurvivesSlotEndRoundUp) {
+  // Regression for the tick-rounding hazard documented in
+  // sim/frame.cpp::finish_construction: every slot total here rounds UP to
+  // the tick grid (fractional part .6 of a tick), so the summed slot ends
+  // overflow the zero-slack frame by a tick; construction must clamp the
+  // tail back instead of throwing or leaving windows past the period.
+  core::ModeSchedule s;
+  s.period = 1.0;  // exactly 10^6 ticks
+  s.ft = {0.2500006, 0.0};
+  s.fs = {0.2500006, 0.0};
+  s.nf = {0.4999988, 0.0};  // slack is exactly zero in units
+  const FrameLayout f(s);
+  EXPECT_EQ(f.period(), to_ticks(1.0));
+  expect_sane_layout(f, s.ft.usable + s.fs.usable + s.nf.usable);
+  // Every instant still classifies: the clamped tail keeps the NF window.
+  EXPECT_EQ(f.locate(f.period() - 1).mode, rt::Mode::NF);
+}
+
+TEST(FrameLayout, ZeroSlackGeneralFrameSurvivesCumulativeRoundUp) {
+  // The many-slot variant accumulates one round-up per slot -- the "tick
+  // per slot" worst case of the documented hazard. Six visits, all of
+  // whose totals round up, against a period that rounds down.
+  std::vector<core::GeneralSlot> slots;
+  for (int k = 0; k < 6; ++k) {
+    slots.push_back({core::kAllModes[k % 3], 0.1666666, 0.0});
+  }
+  // 6 * 0.1666666 = 0.9999996: zero slack up to the last 4 tenths of a
+  // tick; each slot end rounds up by 0.4 of a tick.
+  const core::GeneralFrame frame(0.9999996, slots);
+  const FrameLayout f(frame);
+  expect_sane_layout(f, 6 * 0.1666666);
+  EXPECT_LE(f.windows().back().end, f.period());
+}
+
 }  // namespace
 }  // namespace flexrt::sim

@@ -309,6 +309,35 @@ TEST_F(ServiceOnStressSet, BudgetLadderIsMonotoneNonWorsening) {
   }
 }
 
+TEST_F(ServiceOnStressSet, CappedLadderReportsUnknownGapAndCapParity) {
+  // An adaptive ladder that exhausts its budget cap while the answer is
+  // still moving must report gap = nullopt (unknown), not the last
+  // inter-rung move: that move bounds nothing about the distance between
+  // the capped answer and the exact one. The answer itself must equal the
+  // fixed-policy probe at the cap budget bit for bit (the final rung IS
+  // that probe).
+  const double period = 0.4;
+  const std::size_t cap = 1u << 10;
+  // tol < 0: no finite move can converge the ladder, so it deterministically
+  // climbs to the cap while the condensed answer is still refining.
+  MinQuantumRequest req{Scheduler::EDF, period, false,
+                        AccuracyPolicy::adaptive(/*tol=*/-1.0, 1u << 6, cap)};
+  const MinQuantumResult capped = service_.min_quantum_one(0, req);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_FALSE(capped.prov.dl_exact);  // still condensed at the cap
+  EXPECT_GT(capped.prov.probes, 1u);   // the ladder did climb
+  EXPECT_EQ(capped.prov.budget, cap);  // ... all the way to the cap
+  EXPECT_FALSE(capped.prov.gap.has_value()) << "unconverged capped ladder "
+                                               "must not report a gap";
+
+  const MinQuantumResult fixed = service_.min_quantum_one(
+      0, {Scheduler::EDF, period, false, AccuracyPolicy::fixed(cap)});
+  for (std::size_t m = 0; m < core::kAllModes.size(); ++m) {
+    EXPECT_EQ(capped.mode_quantum[m], fixed.mode_quantum[m]);
+  }
+  EXPECT_EQ(capped.margin, fixed.margin);
+}
+
 TEST_F(ServiceOnStressSet, AdaptiveVerifyEscalatesACondensedNo) {
   // A schedule near the edge: the condensed test may reject it while a
   // finer budget accepts. Whatever the verdict, adaptive verify must stop
@@ -476,6 +505,95 @@ TEST(JsonRow, NonFiniteDoublesBecomeNull) {
   row.field("inf", std::numeric_limits<double>::infinity());
   EXPECT_FALSE(json_number_field(row.str(), "inf").has_value());
   EXPECT_NE(row.str().find("\"inf\":null"), std::string::npos);
+}
+
+// --- string escape round-trips --------------------------------------------
+
+std::string roundtrip(const std::string& s) {
+  JsonRow row;
+  row.field("x", s);
+  return json_string_field(row.str(), "x").value_or("<DECODE FAILED>");
+}
+
+TEST(JsonRow, RoundTripsEverySingleByteString) {
+  // json_escape's full output alphabet one byte at a time: the \uXXXX
+  // control-character escapes (the PR-5 decoder fix), the two-character
+  // escapes, and raw bytes >= 0x20 including the non-ASCII range.
+  for (int c = 0; c < 256; ++c) {
+    const std::string s(1, static_cast<char>(c));
+    EXPECT_EQ(roundtrip(s), s) << "byte " << c;
+  }
+}
+
+TEST(JsonRow, RoundTripsControlCharactersInsideRealNames) {
+  // The writer escapes control characters as \u00XX; before the decoder
+  // fix these came back as the literal text "u0007".
+  const std::string bell_name = "sys\x07name";
+  JsonRow row;
+  row.field("name", bell_name);
+  EXPECT_NE(row.str().find("\\u0007"), std::string::npos);
+  EXPECT_EQ(json_string_field(row.str(), "name").value_or(""), bell_name);
+}
+
+TEST(JsonRow, RoundTripsRandomByteStringsProperty) {
+  // Property: json_string_field inverts json_escape for arbitrary byte
+  // strings -- embedded NULs, control runs, backslash/quote storms, and
+  // high bytes (UTF-8 passes through unescaped).
+  Rng rng(0x5EED5);
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string s;
+    const std::int64_t len = rng.uniform_int(0, 40);
+    for (std::int64_t k = 0; k < len; ++k) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0:  // hostile punctuation
+          s += std::string("\"\\/{}:,")[static_cast<std::size_t>(
+              rng.uniform_int(0, 6))];
+          break;
+        case 1:  // control characters incl. NUL
+          s += static_cast<char>(rng.uniform_int(0, 0x1F));
+          break;
+        default:  // any byte
+          s += static_cast<char>(rng.uniform_int(0, 255));
+      }
+    }
+    EXPECT_EQ(roundtrip(s), s) << "iter " << iter;
+  }
+}
+
+/// Builds the row {"x":"<payload>"} with the payload JSON text verbatim.
+std::string raw_row(const std::string& payload) {
+  return "{\"x\":\"" + payload + "\"}";
+}
+
+TEST(JsonRow, DecodesForeignUnicodeEscapes) {
+  // Rows written by other tools may escape more than control characters;
+  // the scanner decodes any BMP escape (either hex case) and surrogate
+  // pairs to UTF-8.
+  EXPECT_EQ(json_string_field(raw_row("\\u0041\\u004A"), "x").value_or(""),
+            "AJ");
+  EXPECT_EQ(json_string_field(raw_row("\\u00e9"), "x").value_or(""),
+            "\xC3\xA9");  // e-acute, 2-byte UTF-8
+  EXPECT_EQ(json_string_field(raw_row("\\u20AC"), "x").value_or(""),
+            "\xE2\x82\xAC");  // euro sign, 3-byte UTF-8, uppercase hex
+  EXPECT_EQ(json_string_field(raw_row("\\ud83d\\ude00"), "x").value_or(""),
+            "\xF0\x9F\x98\x80");  // U+1F600 via surrogate pair
+  EXPECT_EQ(json_string_field(raw_row("\\b\\f"), "x").value_or(""), "\b\f");
+}
+
+TEST(JsonRow, MalformedUnicodeEscapesYieldNullopt) {
+  // Truncated hex, non-hex digits, and lone/misordered surrogates must
+  // fail the whole field rather than silently corrupt the value.
+  for (const std::string payload : {
+           "\\u00",              // truncated hex
+           "\\u00zz",            // non-hex digits
+           "\\ud83d",            // lone high surrogate
+           "\\ud83dxy",          // high surrogate + garbage
+           "\\ud83d\\u0041",     // high surrogate + non-low escape
+           "\\ude00",            // low surrogate first
+       }) {
+    EXPECT_FALSE(json_string_field(raw_row(payload), "x").has_value())
+        << payload;
+  }
 }
 
 }  // namespace

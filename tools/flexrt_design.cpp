@@ -16,7 +16,7 @@
 //                        [--simulate HORIZON] [--fault-rate R] [--trace N]
 //   flexrt_design sweep  <taskfile>... [--alg edf|rm] [--p-min P] [--p-max P]
 //                        [--step dP] [--adaptive TOL] [--budget N]
-//                        [--jsonl] [--csv]
+//                        [--jsonl] [--csv] [--stream]
 //   flexrt_design verify <taskfile>... --period P --quanta Q_FT,Q_FS,Q_NF
 //                        [--overhead O_FT,O_FS,O_NF] [--alg edf|rm]
 //                        [--exact-supply] [--adaptive TOL] [--budget N]
@@ -24,7 +24,13 @@
 //   flexrt_design study  [--trials N] [--seed S] [--shard k/N]
 //                        [--alg edf|rm] [--goal g] [--overhead a,b,c]
 //                        [--adaptive TOL] [--budget N] [--jsonl] [--csv]
+//                        [--stream]
 //   flexrt_design merge  <report.jsonl>...
+//
+// --stream (study, sweep): emit each entry's rows as soon as its analysis
+// finishes, through the service's ordered reassembly buffer -- the output
+// is byte-identical to the buffered path while peak memory stays bounded
+// by the reorder window instead of the fleet size.
 //
 // Legacy compatibility: `flexrt_design <taskfile> ...` (no subcommand) is
 // routed to `solve`.
@@ -50,6 +56,7 @@
 #include "sim/simulator.hpp"
 #include "svc/analysis_service.hpp"
 #include "svc/jsonl.hpp"
+#include "svc/study_report.hpp"
 
 using namespace flexrt;
 
@@ -65,12 +72,13 @@ int usage() {
          "         [--trace N]\n"
          "  sweep  <taskfile>... [--alg edf|rm] [--p-min P] [--p-max P]\n"
          "         [--step dP] [--adaptive TOL] [--budget N] [--jsonl] [--csv]\n"
+         "         [--stream]\n"
          "  verify <taskfile>... --period P --quanta Q_FT,Q_FS,Q_NF\n"
          "         [--overhead O_FT,O_FS,O_NF] [--alg edf|rm] [--exact-supply]\n"
          "         [--adaptive TOL] [--budget N] [--jsonl]\n"
          "  study  [--trials N] [--seed S] [--shard k/N] [--alg edf|rm]\n"
          "         [--goal g] [--overhead a,b,c] [--adaptive TOL] [--budget N]\n"
-         "         [--jsonl] [--csv]\n"
+         "         [--jsonl] [--csv] [--stream]\n"
          "  merge  <report.jsonl>...\n";
   return 2;
 }
@@ -130,6 +138,7 @@ struct CommonOpts {
   std::size_t budget_cap = 0;  ///< adaptive ladder cap; 0 = default
   bool jsonl = false;
   bool csv = false;
+  bool stream = false;  ///< stream rows as entries finish (study, sweep)
 
   svc::AccuracyPolicy accuracy() const {
     if (adaptive_tol < 0.0) return svc::AccuracyPolicy::fixed(budget);
@@ -205,6 +214,10 @@ int parse_common_flag(CommonOpts& o, int argc, char** argv, int& i) {
     o.csv = true;
     return 0;
   }
+  if (a == "--stream") {
+    o.stream = true;
+    return 0;
+  }
   return -1;
 }
 
@@ -218,19 +231,8 @@ void load_fleet(svc::AnalysisService& service,
   }
 }
 
-void provenance_fields(svc::JsonRow& row, const svc::Provenance& p,
-                       bool with_wall = true) {
-  row.field("dl_exact", p.dl_exact)
-      .field("fp_exact", p.fp_exact)
-      .field("budget", p.budget)
-      .field("fp_budget", p.fp_budget)
-      .field("probes", p.probes);
-  if (p.gap) {
-    row.field("gap", *p.gap);
-  } else {
-    row.null_field("gap");
-  }
-  if (with_wall) row.field("wall_ms", p.wall_ms);
+void provenance_fields(svc::JsonRow& row, const svc::Provenance& p) {
+  svc::provenance_fields(row, p, /*with_wall=*/true);
 }
 
 std::string provenance_note(const svc::Provenance& p) {
@@ -253,55 +255,8 @@ const char* goal_flag(core::DesignGoal goal) {
                                                         : "max-slack";
 }
 
-/// One study_trial JSON-lines row. Deliberately excludes wall_ms: study
-/// rows must be byte-identical across shard layouts so merged shard
-/// reports equal the unsharded run.
-std::string study_trial_row(const svc::SolveResult& r,
-                            const CommonOpts& opts) {
-  svc::JsonRow row;
-  row.field("kind", "study_trial")
-      .field("trial", r.trial)
-      .field("alg", to_string(opts.alg))
-      .field("goal", to_string(opts.goal))
-      .field("packed", r.ok());
-  if (!r.ok()) return row.str();
-  row.field("feasible", r.feasible);
-  if (r.feasible) {
-    row.field("period", r.design.schedule.period)
-        .field("q_ft", r.design.schedule.ft.usable)
-        .field("q_fs", r.design.schedule.fs.usable)
-        .field("q_nf", r.design.schedule.nf.usable)
-        .field("slack_bw", r.design.schedule.slack_bandwidth());
-  }
-  provenance_fields(row, r.prov, /*with_wall=*/false);
-  return row.str();
-}
-
-/// Parses the study_trial rows back (svc/jsonl field scanners) and renders
-/// the aggregate row. Both `study` and `merge` summarize by re-reading
-/// their own emitted rows, so the two reports agree byte for byte.
-std::string study_summary_row(const std::vector<std::string>& rows) {
-  std::size_t packed = 0, feasible = 0;
-  double sum_period = 0.0, sum_slack_bw = 0.0;
-  for (const std::string& r : rows) {
-    if (svc::json_bool_field(r, "packed").value_or(false)) ++packed;
-    if (svc::json_bool_field(r, "feasible").value_or(false)) {
-      ++feasible;
-      sum_period += svc::json_number_field(r, "period").value_or(0.0);
-      sum_slack_bw += svc::json_number_field(r, "slack_bw").value_or(0.0);
-    }
-  }
-  svc::JsonRow row;
-  row.field("kind", "study_summary")
-      .field("trials", rows.size())
-      .field("packed", packed)
-      .field("feasible", feasible)
-      .field("sum_period", sum_period)
-      .field("sum_slack_bw", sum_slack_bw)
-      .field("mean_period",
-             feasible ? sum_period / static_cast<double>(feasible) : 0.0);
-  return row.str();
-}
+// Study row rendering and aggregation live in svc/study_report.hpp so the
+// streaming byte-identity tests drive the exact code the tool runs.
 
 // --- solve ----------------------------------------------------------------
 
@@ -531,10 +486,12 @@ int cmd_sweep(const std::vector<std::string>& argv_rest) {
 
   svc::AnalysisService service;
   load_fleet(service, common.files);
-  const std::vector<svc::RegionSweepResult> results =
-      service.region_sweep({common.alg, search, common.accuracy()});
+  const svc::RegionSweepRequest req{common.alg, search, common.accuracy()};
 
-  for (const svc::RegionSweepResult& r : results) {
+  // Streamed runs flush whole rows so a killed sweep leaves at most one
+  // partial final line; buffered runs keep normal ostream buffering.
+  svc::JsonlWriter out(std::cout, /*flush_per_row=*/common.stream);
+  const auto print_result = [&](const svc::RegionSweepResult& r) {
     if (!r.ok()) throw ModelError(r.error);
     if (common.jsonl) {
       for (const core::RegionSample& s : r.samples) {
@@ -544,7 +501,7 @@ int cmd_sweep(const std::vector<std::string>& argv_rest) {
             .field("alg", to_string(common.alg))
             .field("period", s.period)
             .field("margin", s.margin);
-        std::cout << row.str() << "\n";
+        out.write(row);
       }
       svc::JsonRow row;
       row.field("kind", "sweep")
@@ -552,7 +509,7 @@ int cmd_sweep(const std::vector<std::string>& argv_rest) {
           .field("alg", to_string(common.alg))
           .field("samples", r.samples.size());
       provenance_fields(row, r.prov);
-      std::cout << row.str() << "\n";
+      out.write(row);
     } else {
       std::cout << r.name << ": lhs(P) over [" << search.p_min << ", "
                 << search.p_max << "], " << to_string(common.alg) << " ("
@@ -563,6 +520,16 @@ int cmd_sweep(const std::vector<std::string>& argv_rest) {
       }
       common.csv ? t.print_csv(std::cout) : t.print(std::cout);
     }
+  };
+
+  if (common.stream) {
+    // Each entry's rows go out as its sweep finishes; the reassembly
+    // buffer keeps the file order identical to the buffered path.
+    service.region_sweep(req, print_result);
+    return 0;
+  }
+  for (const svc::RegionSweepResult& r : service.region_sweep(req)) {
+    print_result(r);
   }
   return 0;
 }
@@ -664,44 +631,58 @@ int cmd_study(const std::vector<std::string>& argv_rest) {
   core::SearchOptions search;
   search.grid_step = 5e-3;
   search.p_max = 10.0;
-  const std::vector<svc::SolveResult> results = service.solve(
-      {common.alg, common.overheads, common.goal, search, common.accuracy()});
-
-  std::vector<std::string> rows;
-  rows.reserve(results.size());
-  for (const svc::SolveResult& r : results) {
-    rows.push_back(study_trial_row(r, common));
-  }
+  const svc::SolveRequest req{common.alg, common.overheads, common.goal,
+                              search, common.accuracy()};
 
   if (common.jsonl) {
-    for (const std::string& row : rows) std::cout << row << "\n";
-    // Shards emit rows only; the merged/unsharded report owns the summary.
-    if (study.shard.count == 1) {
-      std::cout << study_summary_row(rows) << "\n";
+    // Rows and summary are identical whether buffered or streamed: the
+    // streaming sink renders/aggregates each row in entry order, and the
+    // buffered path funnels through the same sink. Shards emit rows only;
+    // the merged/unsharded report owns the summary. Per-row flushing is
+    // reserved for --stream (kill-safety); buffered runs stay buffered.
+    svc::JsonlWriter out(std::cout, /*flush_per_row=*/common.stream);
+    svc::StudyAggregate agg;
+    const auto sink = [&](const svc::SolveResult& r) {
+      const std::string row = svc::study_trial_row(r, common.alg, common.goal);
+      out.write(row);
+      agg.add(row);
+    };
+    if (common.stream) {
+      service.solve(req, sink);
+    } else {
+      for (const svc::SolveResult& r : service.solve(req)) sink(r);
     }
+    if (study.shard.count == 1) out.write(agg.summary_row());
     return 0;
   }
 
-  std::cout << "study: " << rows.size() << " of " << study.trials
-            << " trials (shard " << study.shard.index + 1 << "/"
-            << study.shard.count << ", seed 0x" << std::hex << study.base_seed
-            << std::dec << "), " << to_string(common.alg) << ", "
-            << to_string(common.goal) << ", O_tot "
-            << common.overheads.total() << "\n\n";
-  std::size_t packed = 0, feasible = 0;
+  std::size_t done = 0, packed = 0, feasible = 0;
   double sum_period = 0.0, sum_slack = 0.0;
-  for (const svc::SolveResult& r : results) {
+  const auto tally = [&](const svc::SolveResult& r) {
+    ++done;
     packed += r.ok() ? 1 : 0;
     if (r.ok() && r.feasible) {
       ++feasible;
       sum_period += r.design.schedule.period;
       sum_slack += r.design.schedule.slack_bandwidth();
     }
+  };
+  if (common.stream) {
+    service.solve(req, tally);  // aggregates only: bounded memory
+  } else {
+    for (const svc::SolveResult& r : service.solve(req)) tally(r);
   }
+
+  std::cout << "study: " << done << " of " << study.trials
+            << " trials (shard " << study.shard.index + 1 << "/"
+            << study.shard.count << ", seed 0x" << std::hex << study.base_seed
+            << std::dec << "), " << to_string(common.alg) << ", "
+            << to_string(common.goal) << ", O_tot "
+            << common.overheads.total() << "\n\n";
   Table t({"trials", "packed", "feasible", "sum_period", "mean_period",
            "sum_slack_bw"});
   t.row()
-      .cell(rows.size())
+      .cell(done)
       .cell(packed)
       .cell(feasible)
       .cell(sum_period, 3)
@@ -717,33 +698,18 @@ int cmd_merge(const std::vector<std::string>& files) {
   for (const std::string& file : files) {
     std::ifstream in(file);
     if (!in) throw ModelError("cannot open " + file);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      if (svc::json_string_field(line, "kind").value_or("") == "study_trial") {
-        rows.push_back(line);
-      }
-      // Per-shard summaries (none are emitted today) and foreign rows are
-      // dropped; the merged summary is recomputed from the trial rows.
-    }
+    // Throws on a truncated row -- a shard killed mid-stream must fail the
+    // merge loudly (exit 2), not silently drop its tail trials.
+    svc::collect_study_rows(in, file, rows);
   }
-  std::stable_sort(rows.begin(), rows.end(),
-                   [](const std::string& a, const std::string& b) {
-                     return svc::json_number_field(a, "trial").value_or(0.0) <
-                            svc::json_number_field(b, "trial").value_or(0.0);
-                   });
-  for (std::size_t k = 1; k < rows.size(); ++k) {
-    const double a = svc::json_number_field(rows[k - 1], "trial").value_or(-1);
-    const double b = svc::json_number_field(rows[k], "trial").value_or(-1);
-    if (a == b) {
-      std::cerr << "merge: duplicate trial " << b
-                << " (same shard merged twice?)\n";
-      return 2;
-    }
+  svc::sort_study_rows(rows);  // throws on duplicate trials
+  svc::JsonlWriter out(std::cout);
+  svc::StudyAggregate agg;
+  for (const std::string& row : rows) {
+    out.write(row);
+    agg.add(row);
   }
-  for (const std::string& row : rows) std::cout << row << "\n";
-  std::cout << study_summary_row(rows) << "\n";
+  out.write(agg.summary_row());
   return 0;
 }
 
