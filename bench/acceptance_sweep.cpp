@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
-      trials = std::max(0, std::stoi(argv[++i]));
+      trials = static_cast<int>(bench::parse_count("--trials", argv[++i]));
     }
   }
 

@@ -19,6 +19,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_args.hpp"
 #include "common/error.hpp"
 #include "baseline/primary_backup.hpp"
 #include "baseline/static_config.hpp"
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
     if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
-      trials = std::stoi(argv[++i]);
+      trials = static_cast<int>(bench::parse_count("--trials", argv[++i]));
     }
   }
   const double o_tot = 0.05;

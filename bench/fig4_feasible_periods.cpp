@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_args.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/integration.hpp"
@@ -41,7 +42,7 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--csv") == 0) csv = true;
       if (std::strcmp(argv[i], "--step") == 0 && i + 1 < argc) {
-        step = std::stod(argv[++i]);
+        step = bench::parse_num("--step", argv[++i]);
         continue;
       }
       core::parse_study_flag(study, argc, argv, i, "--gen-trials");

@@ -10,6 +10,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_args.hpp"
 #include "common/table.hpp"
 #include "core/design.hpp"
 #include "core/paper_example.hpp"
@@ -23,7 +24,7 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) csv = true;
     if (std::strcmp(argv[i], "--horizon") == 0 && i + 1 < argc) {
-      horizon = std::stod(argv[++i]);
+      horizon = bench::parse_num("--horizon", argv[++i]);
     }
   }
 

@@ -38,6 +38,15 @@ std::optional<PBSystem> build_primary_backup(const rt::TaskSet& all_tasks,
 bool pb_schedulable(const PBSystem& system, hier::Scheduler alg);
 
 /// Convenience: build + test in one call (false when placement fails).
+///
+/// Fault-rate independence (relied on by svc::FaultSweepRequest): because
+/// the backups are *active* -- both copies always execute -- a single
+/// transient fault striking either copy's core is masked by the surviving
+/// copy without any re-execution, so the PB verdict carries no recovery
+/// demand and does not move with the fault rate. The price is paid up
+/// front: the doubled load (replication_overhead) must be schedulable at
+/// all times, faults or not. NF tasks get no backup and corrupt exactly as
+/// on the flexible platform.
 bool try_primary_backup(const rt::TaskSet& all_tasks, hier::Scheduler alg,
                         const part::PackOptions& pack = {});
 

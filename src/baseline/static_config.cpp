@@ -57,6 +57,15 @@ bool dedicated_schedulable(const rt::TaskSet& ts, hier::Scheduler alg) {
 
 }  // namespace
 
+std::optional<std::vector<rt::TaskSet>> static_partition(
+    const rt::TaskSet& all_tasks, StaticConfig config,
+    const part::PackOptions& pack) {
+  for (const rt::Task& t : all_tasks) {
+    if (!satisfies(config, t.mode)) return std::nullopt;
+  }
+  return part::pack(all_tasks, num_static_channels(config), pack);
+}
+
 StaticResult try_static(const rt::TaskSet& all_tasks, StaticConfig config,
                         hier::Scheduler alg, const part::PackOptions& pack) {
   StaticResult result;

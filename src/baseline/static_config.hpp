@@ -1,5 +1,8 @@
 #pragma once
 
+#include <optional>
+#include <vector>
+
 #include "hier/sched_test.hpp"
 #include "part/bin_packing.hpp"
 #include "rt/task_set.hpp"
@@ -38,11 +41,23 @@ struct StaticResult {
   bool schedulable = false;     ///< and the partitioned set meets deadlines
 };
 
+/// The per-channel partition a static configuration would host: checks
+/// every task's mode requirement against the configuration, then packs onto
+/// the configuration's channels. nullopt when a requirement is unsatisfied
+/// or the packing fails. Exposed so fault-aware admission
+/// (svc::FaultSweepRequest) can re-test each channel with the fault model's
+/// recovery demand appended (fault::fs_schedulable_dedicated) instead of
+/// the plain dedicated test.
+std::optional<std::vector<rt::TaskSet>> static_partition(
+    const rt::TaskSet& all_tasks, StaticConfig config,
+    const part::PackOptions& pack = {});
+
 /// Tries to host the whole application on a static configuration:
 /// checks mode compatibility, packs the tasks onto the configuration's
-/// channels, and runs the dedicated-processor schedulability test per
-/// channel (the static platform has no time-partitioning, so each channel
-/// is a plain uniprocessor). Baseline for experiment E7.
+/// channels (static_partition above), and runs the dedicated-processor
+/// schedulability test per channel (the static platform has no
+/// time-partitioning, so each channel is a plain uniprocessor). Baseline
+/// for experiment E7.
 StaticResult try_static(const rt::TaskSet& all_tasks, StaticConfig config,
                         hier::Scheduler alg,
                         const part::PackOptions& pack = {});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
@@ -13,6 +14,24 @@
 #include <utility>
 
 namespace flexrt::par {
+
+/// Monotonic wall-clock stopwatch, started at construction. The one timing
+/// primitive shared by the executor's per-entry wall_ms provenance and the
+/// svc::Deadline checks between accuracy-ladder rungs, so "elapsed" means
+/// the same clock everywhere a deadline is compared against a measurement.
+class StopWatch {
+ public:
+  StopWatch() noexcept : t0_(std::chrono::steady_clock::now()) {}
+
+  double elapsed_ms() const noexcept {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
 
 /// Number of worker threads backing parallel_for (>= 1). Resolved once per
 /// process: the FLEXRT_THREADS environment variable when set to a positive
@@ -66,7 +85,13 @@ std::size_t default_stream_window() noexcept;
 /// emit runs under the stream lock: exactly one emission at a time, in
 /// order -- safe to write an ostream from. An exception thrown by make(i)
 /// drops that index from the stream and is rethrown (first one wins) after
-/// the loop drains; exceptions from emit propagate the same way.
+/// the loop drains; exceptions from emit propagate the same way. A make(i)
+/// that merely *stalls* (finite delay) never wedges the gate: entries past
+/// i + window wait, buffering stays <= window, and the stream resumes the
+/// moment the stalled entry completes -- the fault-injection executor tests
+/// pin this down. (Callers that must never lose an entry to an exception --
+/// svc::AnalysisService -- catch inside make and return an error-valued
+/// result instead.)
 ///
 /// Returns the reorder buffer's high-water mark (<= window), the number
 /// the stream_fleet bench row reports against the fleet size.

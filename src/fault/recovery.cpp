@@ -1,0 +1,69 @@
+#include "fault/recovery.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "rt/analysis_context.hpp"
+#include "rt/priority.hpp"
+
+namespace flexrt::fault {
+
+double recovery_gap(const FaultModel& model) noexcept {
+  if (model.rate <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::max(model.min_separation, 1.0 / model.rate);
+}
+
+std::optional<rt::Task> recovery_task(const rt::TaskSet& channel, double gap) {
+  FLEXRT_REQUIRE(gap > 0.0, "recovery gap must be > 0");
+  if (channel.empty() || std::isinf(gap)) return std::nullopt;
+  double max_wcet = 0.0;
+  for (const rt::Task& t : channel) max_wcet = std::max(max_wcet, t.wcet);
+  FLEXRT_REQUIRE(gap >= max_wcet,
+                 "recovery gap shorter than the channel's largest WCET");
+  rt::Task rec;
+  rec.name = "_recovery";
+  rec.wcet = max_wcet;
+  rec.period = gap;
+  rec.deadline = gap;  // implicit: done before the next fault can strike
+  rec.mode = rt::Mode::FS;
+  return rec;
+}
+
+bool fs_schedulable(const rt::TaskSet& channel, hier::Scheduler alg,
+                    const hier::SupplyFunction& supply, double gap) {
+  if (channel.empty()) return true;
+  if (gap <= 0.0) return false;  // degenerate model: faults arbitrarily close
+  if (!std::isinf(gap)) {
+    // Faults closer than one full re-execution: recovery can never finish
+    // before the next strike, so the channel loses results unboundedly.
+    for (const rt::Task& t : channel) {
+      if (t.wcet > gap) return false;
+    }
+  }
+  rt::TaskSet with_recovery = channel;
+  if (const std::optional<rt::Task> rec = recovery_task(channel, gap)) {
+    with_recovery.add(*rec);
+  }
+  if (alg == hier::Scheduler::FP) {
+    with_recovery = rt::sort_deadline_monotonic(with_recovery);
+  }
+  // Default condensation budgets: gap = 1/rate is generally co-prime with
+  // the task periods, so the exact hyperperiod enumeration would explode;
+  // the bounded context keeps the test safe and cheap instead.
+  const rt::AnalysisContext ctx(std::move(with_recovery));
+  return hier::schedulable(ctx, alg, supply);
+}
+
+bool fs_schedulable_dedicated(const rt::TaskSet& channel, hier::Scheduler alg,
+                              double gap) {
+  return fs_schedulable(channel, alg, hier::LinearSupply(1.0, 0.0), gap);
+}
+
+double corruption_exposure(double rate, double nf_utilization) noexcept {
+  if (rate <= 0.0) return 0.0;
+  return rate * nf_utilization / 4.0;
+}
+
+}  // namespace flexrt::fault

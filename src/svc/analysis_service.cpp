@@ -1,13 +1,16 @@
 #include "svc/analysis_service.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
+#include <exception>
 #include <limits>
 #include <utility>
 
+#include "baseline/primary_backup.hpp"
+#include "baseline/static_config.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "fault/recovery.hpp"
 #include "gen/taskset_gen.hpp"
 
 namespace flexrt::svc {
@@ -48,15 +51,30 @@ bool record_probe(const analysis::BatchEngine& eng, std::size_t round,
 /// nullopt: the last measured move bounds nothing about the distance to the
 /// exact answer, so reporting it as "the gap" would overstate the capped
 /// answer's accuracy.
-template <typename Value, typename EngineAt, typename Probe, typename Move>
+///
+/// Deadline semantics: an active pol.deadline is checked *after* the other
+/// stop conditions and only between rungs, so a ladder that would finish
+/// anyway reports its natural outcome, the first rung always completes
+/// (there is always an answer to degrade to), and a run overshoots its
+/// budget by at most one rung. Deadline degradation looks like a capped
+/// ladder (gap nullopt, answer == fixed(final budget) bit for bit) plus
+/// prov.degraded = true.
+///
+/// `notify(round)` fires at the start of every round, before the probe --
+/// the deterministic injection point the executor-hardening tests hook
+/// (AnalysisService::ProbeHook) to throw or stall at a chosen entry/round.
+template <typename Value, typename EngineAt, typename Probe, typename Move,
+          typename Notify>
 Value run_ladder(const EngineAt& engine_at, const AccuracyPolicy& pol,
                  hier::Scheduler alg, const Probe& probe, const Move& move,
-                 Provenance& prov) {
+                 const Notify& notify, Provenance& prov) {
+  const par::StopWatch clock;
   std::size_t budget = resolve_budget(pol.initial_points, alg);
   const std::size_t cap = std::max(budget, pol.max_points);
   Value value{};
   std::optional<Value> prev;
   for (std::size_t round = 1;; ++round) {
+    notify(round);
     const analysis::BatchEngine& eng = engine_at(budget);
     value = probe(eng);
     if (record_probe(eng, round, budget, prov)) {
@@ -76,6 +94,11 @@ Value run_ladder(const EngineAt& engine_at, const AccuracyPolicy& pol,
     }
     if (budget >= cap) {
       prov.gap = std::nullopt;  // exhausted while still moving: gap unknown
+      break;
+    }
+    if (pol.deadline.active() && clock.elapsed_ms() >= pol.deadline.wall_ms) {
+      prov.degraded = true;  // out of wall time: settle for this rung
+      prov.gap = std::nullopt;
       break;
     }
     prev = std::move(value);
@@ -170,20 +193,24 @@ Result AnalysisService::run_entry(std::size_t i, Body&& body) const {
   out.system = i;
   out.name = e.name;
   out.trial = e.trial;
-  const auto t0 = std::chrono::steady_clock::now();
+  const par::StopWatch clock;
   if (!e.system) {
     out.error = e.error.empty() ? "entry has no system" : e.error;
   } else {
+    // Catch-all, not just flexrt::Error: a fleet entry's analysis may throw
+    // anything (bad_alloc, a stray library exception, an injected fault),
+    // and an escaping exception would lose the entry -- or wedge a
+    // streaming run's ordered gate, which waits on every ticket. Every
+    // failure becomes an error row instead.
     try {
       body(out);
-    } catch (const Error& err) {
+    } catch (const std::exception& err) {  // flexrt::Error included
       out.error = err.what();
+    } catch (...) {
+      out.error = "unknown exception";
     }
   }
-  out.prov.wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                t0)
-          .count();
+  out.prov.wall_ms = clock.elapsed_ms();
   return out;
 }
 
@@ -212,7 +239,7 @@ SolveResult AnalysisService::solve_one(std::size_t i,
           if (!a || !b) return kInf;  // verdict flipped / still infeasible
           return std::abs(a->schedule.period - b->schedule.period);
         },
-        out.prov);
+        probe_round(i), out.prov);
     out.feasible = design.has_value();
     if (design) {
       out.design = *design;
@@ -238,7 +265,7 @@ MinQuantumResult AnalysisService::min_quantum_one(
           }
           return q;
         },
-        array_move, out.prov);
+        array_move, probe_round(i), out.prov);
     out.margin = req.period - out.mode_quantum[0] - out.mode_quantum[1] -
                  out.mode_quantum[2];
   });
@@ -264,7 +291,7 @@ RegionSweepResult AnalysisService::region_sweep_one(
           }
           return m;
         },
-        out.prov);
+        probe_round(i), out.prov);
   });
 }
 
@@ -311,7 +338,7 @@ SensitivityResult AnalysisService::sensitivity_one(
           }
           return m;
         },
-        out.prov);
+        probe_round(i), out.prov);
     out.margins = value.first;
     out.global_margin = value.second;
   });
@@ -322,10 +349,14 @@ VerifyResult AnalysisService::verify_one(std::size_t i,
   return run_entry<VerifyResult>(i, [&](VerifyResult& out) {
     // Hand-rolled ladder: a condensed "schedulable" is already safe and
     // definitive, so adaptive accuracy only escalates a condensed "no".
+    // Deadline handling mirrors run_ladder: checked last, between rungs.
+    const par::StopWatch clock;
+    const auto notify = probe_round(i);
     std::size_t budget = resolve_budget(req.accuracy.initial_points, req.alg);
     const std::size_t cap = std::max(budget, req.accuracy.max_points);
     bool exact = false;
     for (std::size_t round = 1;; ++round) {
+      notify(round);
       const analysis::BatchEngine& eng = engine(i, req.alg, budget);
       out.schedulable = eng.verify(req.schedule, req.use_exact_supply);
       exact = record_probe(eng, round, budget, out.prov);
@@ -333,10 +364,126 @@ VerifyResult AnalysisService::verify_one(std::size_t i,
           budget >= cap) {
         break;
       }
+      if (req.accuracy.deadline.active() &&
+          clock.elapsed_ms() >= req.accuracy.deadline.wall_ms) {
+        out.prov.degraded = true;  // conservative "no" of the finished rung
+        break;
+      }
       budget = rt::next_budget_rung(budget, cap);
     }
     out.prov.gap = (out.schedulable || exact) ? std::optional<double>(0.0)
                                               : std::nullopt;
+  });
+}
+
+FaultSweepResult AnalysisService::fault_sweep_one(
+    std::size_t i, const FaultSweepRequest& req) const {
+  return run_entry<FaultSweepResult>(i, [&](FaultSweepResult& out) {
+    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
+      return engine(i, req.alg, budget);
+    };
+    // Phase 1: the nominal design, exactly solve_one's ladder (the request's
+    // accuracy/deadline policy governs this phase; the per-rate checks below
+    // run on fixed bounded contexts and need no ladder).
+    using Value = std::optional<core::Design>;
+    std::string why;
+    const Value design = run_ladder<Value>(
+        engine_at, req.accuracy, req.alg,
+        [&](const analysis::BatchEngine& eng) -> Value {
+          try {
+            return core::solve_design(eng, req.overheads, req.goal,
+                                      req.search);
+          } catch (const InfeasibleError& err) {
+            why = err.what();
+            return std::nullopt;
+          }
+        },
+        [](const Value& a, const Value& b) {
+          if (!a || !b) return kInf;
+          return std::abs(a->schedule.period - b->schedule.period);
+        },
+        probe_round(i), out.prov);
+    out.feasible = design.has_value();
+    if (!design) {
+      out.infeasible = why;
+      return;  // no schedule: nothing to sweep
+    }
+    out.schedule = design->schedule;
+
+    // Phase 2: rate-independent work, once per entry.
+    const core::ModeTaskSystem& sys = system(i);
+    rt::TaskSet all_tasks;
+    for (const rt::Mode mode : core::kAllModes) {
+      for (const rt::Task& t : sys.mode_tasks(mode)) all_tasks.add(t);
+    }
+    const double u_nf = sys.mode_tasks(rt::Mode::NF).utilization();
+    bool pb_ok = false, static_ft_ok = false, static_nf_ok = false;
+    std::optional<std::vector<rt::TaskSet>> static_fs_bins;
+    if (req.with_baselines) {
+      // PB is fault-rate independent (active backups; see primary_backup.hpp)
+      // and so are AllFT (faults masked) and AllNF (timing unaffected); only
+      // AllFS pays a per-rate recovery demand, re-tested per point below.
+      pb_ok = baseline::try_primary_backup(all_tasks, req.alg);
+      static_ft_ok =
+          baseline::try_static(all_tasks, baseline::StaticConfig::AllFT,
+                               req.alg)
+              .schedulable;
+      static_nf_ok =
+          baseline::try_static(all_tasks, baseline::StaticConfig::AllNF,
+                               req.alg)
+              .schedulable;
+      static_fs_bins = baseline::static_partition(
+          all_tasks, baseline::StaticConfig::AllFS);
+    }
+
+    // Phase 3: per-rate verdicts under the fault model's recovery demand.
+    out.points.reserve(req.rates.size());
+    for (const double rate : req.rates) {
+      FaultRatePoint p;
+      p.rate = rate;
+      p.recovery_gap =
+          fault::recovery_gap(fault::FaultModel{rate, req.min_separation});
+      // FT: the 4-way lock-step channel masks every single transient fault,
+      // so the designed guarantee holds at any swept rate. NF: a strike
+      // corrupts output but never timing; the guarantee holds, integrity
+      // degrades by the exposure metric.
+      p.ft_ok = true;
+      p.nf_ok = true;
+      p.nf_exposure = fault::corruption_exposure(rate, u_nf);
+      // FS: each channel must absorb one re-execution per recovery gap
+      // within its designed slot supply.
+      p.fs_ok = true;
+      for (const rt::TaskSet& channel : sys.partitions(rt::Mode::FS)) {
+        const bool ok =
+            req.use_exact_supply
+                ? fault::fs_schedulable(channel, req.alg,
+                                        out.schedule.exact_supply(rt::Mode::FS),
+                                        p.recovery_gap)
+                : fault::fs_schedulable(channel, req.alg,
+                                        out.schedule.supply(rt::Mode::FS),
+                                        p.recovery_gap);
+        if (!ok) {
+          p.fs_ok = false;
+          break;
+        }
+      }
+      if (req.with_baselines) {
+        p.pb_ok = pb_ok;
+        p.static_ft_ok = static_ft_ok;
+        p.static_nf_ok = static_nf_ok;
+        if (static_fs_bins) {
+          p.static_fs_ok = true;
+          for (const rt::TaskSet& bin : *static_fs_bins) {
+            if (!fault::fs_schedulable_dedicated(bin, req.alg,
+                                                 p.recovery_gap)) {
+              p.static_fs_ok = false;
+              break;
+            }
+          }
+        }
+      }
+      out.points.push_back(p);
+    }
   });
 }
 
@@ -375,6 +522,14 @@ std::vector<VerifyResult> AnalysisService::verify(
   std::vector<VerifyResult> out(size());
   par::parallel_for(size(),
                     [&](std::size_t i) { out[i] = verify_one(i, req); });
+  return out;
+}
+
+std::vector<FaultSweepResult> AnalysisService::fault_sweep(
+    const FaultSweepRequest& req) const {
+  std::vector<FaultSweepResult> out(size());
+  par::parallel_for(size(),
+                    [&](std::size_t i) { out[i] = fault_sweep_one(i, req); });
   return out;
 }
 
@@ -425,6 +580,13 @@ StreamStats AnalysisService::verify(const VerifyRequest& req,
                                     std::size_t window) const {
   return stream_entries([&](std::size_t i) { return verify_one(i, req); }, sink,
                         window);
+}
+
+StreamStats AnalysisService::fault_sweep(const FaultSweepRequest& req,
+                                         const FaultSweepSink& sink,
+                                         std::size_t window) const {
+  return stream_entries([&](std::size_t i) { return fault_sweep_one(i, req); },
+                        sink, window);
 }
 
 }  // namespace flexrt::svc

@@ -17,6 +17,7 @@
 #include "core/schedule.hpp"
 #include "core/sensitivity.hpp"
 #include "core/study_runner.hpp"
+#include "fault/fault_model.hpp"
 #include "hier/sched_test.hpp"
 #include "part/bin_packing.hpp"
 #include "rt/deadline_bound.hpp"
@@ -54,6 +55,27 @@ namespace flexrt::svc {
 /// ladder, and an engine cache keyed by (system, scheduler, budget) so a
 /// request menu (e.g. an overhead sweep) reuses each system's caches.
 
+/// Per-entry wall-time budget of a request. When active, every entry's
+/// accuracy ladder checks the elapsed wall time after each completed rung:
+/// once the budget is spent, the ladder stops escalating and the answer of
+/// the rung that just finished is returned as a *degraded* result
+/// (Provenance::degraded = true, gap = null) instead of erroring or running
+/// on. The deadline is checked between rungs, never mid-rung -- a rung in
+/// flight always completes -- so a run overshoots its deadline by at most
+/// one rung, and there is always a completed rung to degrade to (the first
+/// rung runs unconditionally). Degraded answers are conservative exactly
+/// like every condensed answer in the library: schedulable implies
+/// schedulable, reported minQ >= exact minQ -- the monotone non-worsening
+/// the ladder's rungs already guarantee.
+///
+/// Fixed policies run a single rung and are unaffected: a deadline cannot
+/// shrink one probe, only stop an adaptive ladder from starting more.
+struct Deadline {
+  double wall_ms = 0.0;  ///< per-entry wall-clock budget; <= 0 = no deadline
+
+  bool active() const noexcept { return wall_ms > 0.0; }
+};
+
 /// Per-request accuracy policy; default-constructed == fixed at the
 /// library-default budget (the bit-for-bit parity configuration).
 struct AccuracyPolicy {
@@ -87,6 +109,16 @@ struct AccuracyPolicy {
   double tol = 0.0;
   /// Adaptive hard cap on the budget ladder.
   std::size_t max_points = 1u << 20;
+  /// Per-entry wall-time budget with graceful degradation (see Deadline).
+  Deadline deadline{};
+
+  /// Fluent deadline attachment: policy.with_deadline(50) caps each
+  /// entry's ladder at 50 ms of wall time.
+  AccuracyPolicy with_deadline(double wall_ms) const noexcept {
+    AccuracyPolicy p = *this;
+    p.deadline.wall_ms = wall_ms;
+    return p;
+  }
 };
 
 /// How an answer was obtained -- attached to every result.
@@ -114,6 +146,13 @@ struct Provenance {
   /// answer was still moving (the last measured move says nothing about
   /// how far the capped answer sits from the exact one).
   std::optional<double> gap;
+  /// True when the request's Deadline stopped the adaptive ladder before it
+  /// reached exactness, convergence or the budget cap: the answer is the
+  /// best completed rung's conservative answer (bit-for-bit what a fixed
+  /// policy at `budget` would return), and `gap` is null because nothing
+  /// bounds its distance to the exact answer. Never set by fixed policies
+  /// or by ladders that finished on their own.
+  bool degraded = false;
   /// Wall time of this entry's request, milliseconds.
   double wall_ms = 0.0;
 };
@@ -125,8 +164,12 @@ struct ResultBase {
   std::size_t system = 0;      ///< entry index within the service fleet
   std::string name;            ///< entry name (file, "trial<k>", ...)
   std::size_t trial = kNoTrial;  ///< global trial id for generated entries
-  /// Non-empty when the request produced no answer for this entry
-  /// (generation/packing failed, or the model was rejected).
+  /// Non-empty when the request produced no answer for this entry:
+  /// generation/packing failed, the model was rejected, or the entry's
+  /// analysis threw -- *any* exception, not just flexrt::Error, becomes an
+  /// error row rather than escaping into the thread pool (a std::bad_alloc
+  /// or stray library exception must never lose the entry or wedge a
+  /// streaming run's ordered gate).
   std::string error;
   Provenance prov;
 
@@ -214,6 +257,63 @@ struct VerifyResult : ResultBase {
   bool schedulable = false;
 };
 
+/// Fault-tolerance sweep (paper §2.1 made a fleet workload): solve the
+/// nominal design, then sweep the fault::FaultModel rate and report, per
+/// rate, schedulability under the fault model's recovery demand for each
+/// task class -- FT masks (no extra demand), FS detects-and-silences (the
+/// affected job re-executes: fault::recovery_task demand added to every FS
+/// channel), NF corrupts (timing unchanged, output integrity degrades by
+/// fault::corruption_exposure) -- side by side with the software baselines
+/// the paper argues against: baseline::primary_backup (active backups,
+/// rate-independent, doubled load) and the three baseline::StaticConfig
+/// platforms (static-FS pays the same recovery demand on its permanent
+/// couples).
+struct FaultSweepRequest {
+  hier::Scheduler alg = hier::Scheduler::EDF;
+  /// Fault rates (lambda, faults per time unit) to sweep; >= 0 each.
+  std::vector<double> rates;
+  /// FaultModel::min_separation of the swept models: the hard floor of the
+  /// guaranteed inter-fault gap (fault::recovery_gap).
+  double min_separation = 1.0;
+  core::Overheads overheads{};
+  core::DesignGoal goal = core::DesignGoal::MinOverheadBandwidth;
+  core::SearchOptions search{};
+  /// Exact slot supply for the per-rate FS channel checks (default: the
+  /// linear supply bound, matching verify's default).
+  bool use_exact_supply = false;
+  /// Also evaluate the primary/backup and static-configuration baselines.
+  bool with_baselines = true;
+  AccuracyPolicy accuracy{};
+};
+
+/// One swept rate's verdicts. Flexible-platform fields assume the nominal
+/// design (FaultSweepResult::schedule); baseline fields are admission
+/// verdicts on the baseline platforms and are present only when
+/// with_baselines.
+struct FaultRatePoint {
+  double rate = 0.0;
+  /// Guaranteed inter-fault gap the recovery demand assumes (+inf at rate 0).
+  double recovery_gap = 0.0;
+  bool ft_ok = false;  ///< FT class: faults masked, design guarantee holds
+  bool fs_ok = false;  ///< FS class: channels schedulable incl. recovery demand
+  bool nf_ok = false;  ///< NF class: timing guarantee holds (outputs may corrupt)
+  /// Expected corrupting faults per time unit (NF integrity metric).
+  double nf_exposure = 0.0;
+  bool pb_ok = false;         ///< primary/backup baseline schedulable
+  bool static_ft_ok = false;  ///< all-FT static platform hosts the app
+  bool static_fs_ok = false;  ///< all-FS static platform, recovery demand incl.
+  bool static_nf_ok = false;  ///< all-NF static platform hosts the app
+};
+
+struct FaultSweepResult : ResultBase {
+  bool feasible = false;  ///< nominal design exists (prov covers its ladder)
+  /// Why the nominal design is infeasible (when ok() && !feasible; the
+  /// sweep then has no points -- there is no schedule to degrade from).
+  std::string infeasible;
+  core::ModeSchedule schedule{};  ///< the nominal design, valid iff feasible
+  std::vector<FaultRatePoint> points;  ///< one per requested rate, in order
+};
+
 // --- streaming ------------------------------------------------------------
 
 /// What a streaming fleet request reports back: every row was delivered to
@@ -235,6 +335,7 @@ using MinQuantumSink = std::function<void(const MinQuantumResult&)>;
 using RegionSweepSink = std::function<void(const RegionSweepResult&)>;
 using SensitivitySink = std::function<void(const SensitivityResult&)>;
 using VerifySink = std::function<void(const VerifyResult&)>;
+using FaultSweepSink = std::function<void(const FaultSweepResult&)>;
 
 // --- the service ----------------------------------------------------------
 
@@ -288,6 +389,7 @@ class AnalysisService {
   std::vector<SensitivityResult> sensitivity(
       const SensitivityRequest& req) const;
   std::vector<VerifyResult> verify(const VerifyRequest& req) const;
+  std::vector<FaultSweepResult> fault_sweep(const FaultSweepRequest& req) const;
 
   // Streaming execution: identical per-entry computation, but each result
   // goes to `sink` as soon as its ladder finishes, reassembled into entry
@@ -309,6 +411,9 @@ class AnalysisService {
                           std::size_t window = 0) const;
   StreamStats verify(const VerifyRequest& req, const VerifySink& sink,
                      std::size_t window = 0) const;
+  StreamStats fault_sweep(const FaultSweepRequest& req,
+                          const FaultSweepSink& sink,
+                          std::size_t window = 0) const;
 
   // Single-entry execution (what the core:: wrappers use).
   SolveResult solve_one(std::size_t i, const SolveRequest& req) const;
@@ -319,6 +424,19 @@ class AnalysisService {
   SensitivityResult sensitivity_one(std::size_t i,
                                     const SensitivityRequest& req) const;
   VerifyResult verify_one(std::size_t i, const VerifyRequest& req) const;
+  FaultSweepResult fault_sweep_one(std::size_t i,
+                                   const FaultSweepRequest& req) const;
+
+  /// Deterministic fault-injection hook for executor hardening tests: when
+  /// set, called at the *start of every accuracy round* of every entry's
+  /// ladder, with (entry index, 1-based round). A hook that throws models a
+  /// failing analysis (the entry becomes an error row -- see
+  /// ResultBase::error); a hook that sleeps models a stalling one (an
+  /// active Deadline then degrades the entry). Test-only by intent: not
+  /// synchronized against in-flight requests, so set it before issuing
+  /// work. Pass nullptr to clear.
+  using ProbeHook = std::function<void(std::size_t entry, std::size_t round)>;
+  void set_probe_hook(ProbeHook hook) { probe_hook_ = std::move(hook); }
 
   /// The cached per-(entry, scheduler, budget) probe engine -- the escape
   /// hatch for engine-level probes the typed requests do not cover
@@ -343,6 +461,14 @@ class AnalysisService {
   template <typename Result, typename Body>
   Result run_entry(std::size_t i, Body&& body) const;
 
+  /// The per-entry notify callback handed to the accuracy ladder: forwards
+  /// each round start to the injection hook when one is set.
+  auto probe_round(std::size_t i) const {
+    return [this, i](std::size_t round) {
+      if (probe_hook_) probe_hook_(i, round);
+    };
+  }
+
   /// Shared streaming transport: runs `one(i)` per entry on the pool and
   /// feeds the ordered reassembly buffer (par::ordered_stream).
   template <typename One, typename Sink>
@@ -350,6 +476,7 @@ class AnalysisService {
                              std::size_t window) const;
 
   std::vector<Entry> entries_;
+  ProbeHook probe_hook_;
   mutable std::mutex mu_;
   mutable std::map<EngineKey, std::unique_ptr<analysis::BatchEngine>> engines_;
 };

@@ -18,6 +18,7 @@ void provenance_fields(JsonRow& row, const Provenance& p, bool with_wall) {
   } else {
     row.null_field("gap");
   }
+  row.field("degraded", p.degraded);
   if (with_wall) row.field("wall_ms", p.wall_ms);
 }
 

@@ -78,5 +78,64 @@ TEST(FaultModel, NegativeRateRejected) {
   EXPECT_THROW(fm.generate(1000, rng), ModelError);
 }
 
+// --- generator properties (the contract fault-aware analysis and the
+// simulator both lean on) ---------------------------------------------------
+
+TEST(FaultModel, ArrivalsStrictlyIncreaseEvenWithoutSeparation) {
+  // min_separation 0 must not allow two faults at the same tick: the
+  // exponential step is floored at one tick, so time always advances.
+  FaultModel fm{50.0, 0.0};
+  Rng rng(9);
+  const auto faults = fm.generate(to_ticks(50.0), rng);
+  ASSERT_GT(faults.size(), 100u);  // high rate: the floor actually binds
+  for (std::size_t i = 1; i < faults.size(); ++i) {
+    EXPECT_GT(faults[i].time, faults[i - 1].time);
+  }
+}
+
+TEST(FaultModel, SeparationBeyondHorizonYieldsAtMostOneFault) {
+  // The second arrival lands at >= first + min_separation > horizon, so the
+  // generator must return promptly with zero or one fault -- not scan the
+  // unreachable remainder.
+  FaultModel fm{10.0, 1000.0};
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(100 + seed);
+    const auto faults = fm.generate(to_ticks(100.0), rng);
+    EXPECT_LE(faults.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(FaultModel, ExtremeRateTerminatesAndHonoursSeparation) {
+  // rate >> 1/min_separation: the exponential steps are sub-tick and the
+  // separation floor does all the pacing. The loop must still terminate
+  // (separation forces progress) and the gap invariant must hold exactly.
+  FaultModel fm{1e7, 0.5};
+  Rng rng(11);
+  const Ticks horizon = to_ticks(200.0);
+  const auto faults = fm.generate(horizon, rng);
+  // Separation-paced: about horizon / min_separation arrivals.
+  EXPECT_GT(faults.size(), 300u);
+  EXPECT_LE(faults.size(), 400u);
+  for (std::size_t i = 1; i < faults.size(); ++i) {
+    EXPECT_GE(faults[i].time - faults[i - 1].time, to_ticks(0.5));
+  }
+  EXPECT_LT(faults.back().time, horizon);
+}
+
+TEST(FaultModel, SeparationPacedStreamStaysInsideHorizon) {
+  // Mixed regime: rate and separation within an order of magnitude. Every
+  // arrival obeys both the horizon and the pairwise gap at once.
+  FaultModel fm{2.0, 1.0};
+  Rng rng(12);
+  const Ticks horizon = to_ticks(1000.0);
+  const auto faults = fm.generate(horizon, rng);
+  ASSERT_FALSE(faults.empty());
+  EXPECT_GE(faults.front().time, 0);
+  for (std::size_t i = 1; i < faults.size(); ++i) {
+    EXPECT_GE(faults[i].time - faults[i - 1].time, to_ticks(1.0));
+  }
+  EXPECT_LT(faults.back().time, horizon);
+}
+
 }  // namespace
 }  // namespace flexrt::fault

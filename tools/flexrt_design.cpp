@@ -25,12 +25,22 @@
 //                        [--alg edf|rm] [--goal g] [--overhead a,b,c]
 //                        [--adaptive TOL] [--budget N] [--jsonl] [--csv]
 //                        [--stream]
+//   flexrt_design fault-sweep <taskfile>... | --trials N [--seed S]
+//                        [--shard k/N] [--rates R1,R2,...] [--min-sep S]
+//                        [--no-baselines] [--exact-supply] [--alg edf|rm]
+//                        [--goal g] [--overhead a,b,c] [--adaptive TOL]
+//                        [--budget N] [--jsonl] [--csv] [--stream]
 //   flexrt_design merge  <report.jsonl>...
 //
-// --stream (study, sweep): emit each entry's rows as soon as its analysis
-// finishes, through the service's ordered reassembly buffer -- the output
-// is byte-identical to the buffered path while peak memory stays bounded
-// by the reorder window instead of the fleet size.
+// Every analysis subcommand also takes --deadline MS: a per-entry wall-time
+// budget; an adaptive ladder that runs out of time degrades gracefully to
+// the last completed rung's conservative answer (provenance degraded=true,
+// gap=null) instead of erroring or running on.
+//
+// --stream (study, sweep, fault-sweep): emit each entry's rows as soon as
+// its analysis finishes, through the service's ordered reassembly buffer --
+// the output is byte-identical to the buffered path while peak memory stays
+// bounded by the reorder window instead of the fleet size.
 //
 // Legacy compatibility: `flexrt_design <taskfile> ...` (no subcommand) is
 // routed to `solve`.
@@ -38,6 +48,7 @@
 // Exit status: 0 on success, 1 on infeasible design / failed verify /
 // simulated misses, 2 on usage or input errors.
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -79,7 +90,14 @@ int usage() {
          "  study  [--trials N] [--seed S] [--shard k/N] [--alg edf|rm]\n"
          "         [--goal g] [--overhead a,b,c] [--adaptive TOL] [--budget N]\n"
          "         [--jsonl] [--csv] [--stream]\n"
-         "  merge  <report.jsonl>...\n";
+         "  fault-sweep <taskfile>... | --trials N [--seed S] [--shard k/N]\n"
+         "         [--rates R1,R2,...] [--min-sep S] [--no-baselines]\n"
+         "         [--exact-supply] [--alg edf|rm] [--goal g]\n"
+         "         [--overhead a,b,c] [--adaptive TOL] [--budget N] [--jsonl]\n"
+         "         [--csv] [--stream]\n"
+         "  merge  <report.jsonl>...\n"
+         "common: --deadline MS  per-entry wall budget (adaptive ladders\n"
+         "        degrade to the last finished rung when it expires)\n";
   return 2;
 }
 
@@ -136,15 +154,21 @@ struct CommonOpts {
   double adaptive_tol = -1.0;  ///< >= 0: adaptive accuracy requested
   std::size_t budget = 0;      ///< fixed budget / ladder seed; 0 = default
   std::size_t budget_cap = 0;  ///< adaptive ladder cap; 0 = default
+  double deadline_ms = 0.0;    ///< per-entry wall budget; > 0 activates
   bool jsonl = false;
   bool csv = false;
   bool stream = false;  ///< stream rows as entries finish (study, sweep)
 
   svc::AccuracyPolicy accuracy() const {
-    if (adaptive_tol < 0.0) return svc::AccuracyPolicy::fixed(budget);
-    svc::AccuracyPolicy p = svc::AccuracyPolicy::adaptive(adaptive_tol);
-    if (budget) p.initial_points = budget;
-    if (budget_cap) p.max_points = budget_cap;
+    svc::AccuracyPolicy p;
+    if (adaptive_tol < 0.0) {
+      p = svc::AccuracyPolicy::fixed(budget);
+    } else {
+      p = svc::AccuracyPolicy::adaptive(adaptive_tol);
+      if (budget) p.initial_points = budget;
+      if (budget_cap) p.max_points = budget_cap;
+    }
+    if (deadline_ms > 0.0) p = p.with_deadline(deadline_ms);
     return p;
   }
 };
@@ -204,6 +228,12 @@ int parse_common_flag(CommonOpts& o, int argc, char** argv, int& i) {
     const char* v = next();
     if (!v) return 2;
     o.budget_cap = parse_size("--budget-cap", v);
+    return 0;
+  }
+  if (a == "--deadline") {
+    const char* v = next();
+    if (!v) return 2;
+    o.deadline_ms = parse_num("--deadline", v);
     return 0;
   }
   if (a == "--jsonl") {
@@ -604,6 +634,186 @@ int cmd_verify(const std::vector<std::string>& argv_rest) {
   return rc;
 }
 
+// --- fault-sweep ----------------------------------------------------------
+
+/// Comma-separated strict numbers ("0,0.01,0.1"); every token must parse
+/// (parse_num), so a malformed list is exit 2 naming the flag.
+std::vector<double> parse_num_list(const char* flag, const std::string& spec) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = spec.find(',', start);
+    out.push_back(parse_num(flag, spec.substr(start, comma - start)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int cmd_fault_sweep(const std::vector<std::string>& argv_rest) {
+  CommonOpts common;
+  common.overheads = {0.05 / 3, 0.05 / 3, 0.05 / 3};  // paper's O_tot = 0.05
+  core::StudyOptions study;
+  study.trials = 0;  // 0 = no generated fleet (task files expected)
+  svc::FaultSweepRequest req;
+  req.rates = {0.0, 1e-3, 1e-2, 0.1, 1.0};
+  ArgVec av(argv_rest);
+  const int argc = av.argc();
+  char** raw = av.argv();
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = raw[i];
+    const int c = parse_common_flag(common, argc, raw, i);
+    if (c == 0) continue;
+    if (c == 2) return usage();
+    if (core::parse_study_flag(study, argc, raw, i)) continue;
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? raw[++i] : nullptr;
+    };
+    if (a == "--rates") {
+      const char* v = next();
+      if (!v) return usage();
+      req.rates = parse_num_list("--rates", v);
+    } else if (a == "--min-sep") {
+      const char* v = next();
+      if (!v) return usage();
+      req.min_separation = parse_num("--min-sep", v);
+    } else if (a == "--no-baselines") {
+      req.with_baselines = false;
+    } else if (a == "--exact-supply") {
+      req.use_exact_supply = true;
+    } else if (!a.empty() && a[0] != '-') {
+      common.files.push_back(a);
+    } else {
+      return usage();
+    }
+  }
+  if (common.files.empty() == (study.trials == 0)) {
+    return usage();  // exactly one fleet source: task files xor --trials
+  }
+
+  svc::AnalysisService service;
+  if (study.trials > 0) {
+    service.add_fleet(study, [](std::size_t, Rng& rng) {
+      return gen::study_system(rng);
+    });
+    req.search.grid_step = 5e-3;  // cmd_study's generated-fleet search grid
+    req.search.p_max = 10.0;
+  } else {
+    load_fleet(service, common.files);
+  }
+  req.alg = common.alg;
+  req.overheads = common.overheads;
+  req.goal = common.goal;
+  req.accuracy = common.accuracy();
+
+  svc::JsonlWriter out(std::cout, /*flush_per_row=*/common.stream);
+  int rc = 0;
+  const auto print_result = [&](const svc::FaultSweepResult& r) {
+    if (common.jsonl) {
+      if (!r.ok()) {
+        // Error entries emit their one summary row only: a partially
+        // computed points vector must not masquerade as sweep output.
+        svc::JsonRow row;
+        row.field("kind", "fault_sweep").field("name", r.name);
+        if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
+        row.field("alg", to_string(common.alg)).field("error", r.error);
+        // Wall-free like study rows: fault-sweep reports are fleet reports,
+        // and byte-identity across buffered/streamed runs requires it.
+        svc::provenance_fields(row, r.prov, /*with_wall=*/false);
+        out.write(row);
+        rc = std::max(rc, 1);
+        return;
+      }
+      for (const svc::FaultRatePoint& p : r.points) {
+        svc::JsonRow row;
+        row.field("kind", "fault_point").field("name", r.name);
+        if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
+        row.field("alg", to_string(common.alg)).field("rate", p.rate);
+        if (std::isinf(p.recovery_gap)) {
+          row.null_field("recovery_gap");  // rate 0: no fault ever arrives
+        } else {
+          row.field("recovery_gap", p.recovery_gap);
+        }
+        row.field("ft_ok", p.ft_ok)
+            .field("fs_ok", p.fs_ok)
+            .field("nf_ok", p.nf_ok)
+            .field("nf_exposure", p.nf_exposure);
+        if (req.with_baselines) {
+          row.field("pb_ok", p.pb_ok)
+              .field("static_ft_ok", p.static_ft_ok)
+              .field("static_fs_ok", p.static_fs_ok)
+              .field("static_nf_ok", p.static_nf_ok);
+        }
+        out.write(row);
+      }
+      svc::JsonRow row;
+      row.field("kind", "fault_sweep").field("name", r.name);
+      if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
+      row.field("alg", to_string(common.alg));
+      row.field("feasible", r.feasible);
+      if (r.feasible) {
+        row.field("period", r.schedule.period)
+            .field("points", r.points.size());
+      } else {
+        row.field("infeasible", r.infeasible);
+        rc = std::max(rc, 1);
+      }
+      svc::provenance_fields(row, r.prov, /*with_wall=*/false);
+      out.write(row);
+      return;
+    }
+    if (!r.ok()) {
+      std::cout << r.name << ": error: " << r.error << "\n";
+      rc = std::max(rc, 1);
+      return;
+    }
+    if (!r.feasible) {
+      std::cout << r.name << ": infeasible: " << r.infeasible << "\n";
+      rc = std::max(rc, 1);
+      return;
+    }
+    std::cout << r.name << ": nominal design P = " << r.schedule.period
+              << " (" << to_string(common.alg) << ", "
+              << provenance_note(r.prov) << ")\n";
+    std::vector<std::string> head = {"rate", "recovery_gap", "ft_ok",
+                                     "fs_ok", "nf_ok", "nf_exposure"};
+    if (req.with_baselines) {
+      head.insert(head.end(),
+                  {"pb_ok", "static_ft_ok", "static_fs_ok", "static_nf_ok"});
+    }
+    Table t(head);
+    const auto mark = [](bool ok) { return ok ? "yes" : "NO"; };
+    for (const svc::FaultRatePoint& p : r.points) {
+      t.row().cell(p.rate, 4);
+      if (std::isinf(p.recovery_gap)) {
+        t.cell("inf");
+      } else {
+        t.cell(p.recovery_gap, 3);
+      }
+      t.cell(mark(p.ft_ok))
+          .cell(mark(p.fs_ok))
+          .cell(mark(p.nf_ok))
+          .cell(p.nf_exposure, 6);
+      if (req.with_baselines) {
+        t.cell(mark(p.pb_ok))
+            .cell(mark(p.static_ft_ok))
+            .cell(mark(p.static_fs_ok))
+            .cell(mark(p.static_nf_ok));
+      }
+    }
+    common.csv ? t.print_csv(std::cout) : t.print(std::cout);
+  };
+
+  if (common.stream) {
+    service.fault_sweep(req, print_result);
+    return rc;
+  }
+  for (const svc::FaultSweepResult& r : service.fault_sweep(req)) {
+    print_result(r);
+  }
+  return rc;
+}
+
 // --- study / merge --------------------------------------------------------
 
 int cmd_study(const std::vector<std::string>& argv_rest) {
@@ -724,6 +934,7 @@ int main(int argc, char** argv) {
     if (cmd == "sweep") return cmd_sweep(rest);
     if (cmd == "verify") return cmd_verify(rest);
     if (cmd == "study") return cmd_study(rest);
+    if (cmd == "fault-sweep") return cmd_fault_sweep(rest);
     if (cmd == "merge") return cmd_merge(rest);
     if (cmd == "--help" || cmd == "-h") return usage();
     // Legacy form: flexrt_design [flags...] <taskfile> [flags...] == solve
