@@ -1,0 +1,133 @@
+#include "common/fs.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace flexrt::fs {
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::string& path,
+                       int err) {
+  throw ModelError(op + " failed for " + path + ": " + std::strerror(err));
+}
+
+int open_or_throw(const std::string& path, int flags) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), flags, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) fail("open", path, errno);
+  return fd;
+}
+
+/// Directory portion of `path` ("." when it has none).
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+DurableFile DurableFile::create(const std::string& path) {
+  return DurableFile(open_or_throw(path, O_WRONLY | O_CREAT | O_TRUNC), path);
+}
+
+DurableFile DurableFile::open_truncated(const std::string& path,
+                                        std::uint64_t keep) {
+  const int fd = open_or_throw(path, O_WRONLY);
+  if (::ftruncate(fd, static_cast<off_t>(keep)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    fail("ftruncate", path, err);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    const int err = errno;
+    ::close(fd);
+    fail("lseek", path, err);
+  }
+  return DurableFile(fd, path);
+}
+
+DurableFile::DurableFile(DurableFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+DurableFile& DurableFile::operator=(DurableFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+DurableFile::~DurableFile() {
+  // Best-effort on the destructor path: explicit close() is where errors
+  // surface; unwinding must not throw again.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void DurableFile::append(std::string_view bytes) {
+  FLEXRT_REQUIRE(fd_ >= 0, "append on a closed DurableFile: " + path_);
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write", path_, errno);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void DurableFile::sync() {
+  FLEXRT_REQUIRE(fd_ >= 0, "sync on a closed DurableFile: " + path_);
+  if (::fsync(fd_) != 0) fail("fsync", path_, errno);
+}
+
+void DurableFile::close() {
+  if (fd_ < 0) return;
+  const int fd = std::exchange(fd_, -1);
+  if (::close(fd) != 0) fail("close", path_, errno);
+}
+
+void atomic_publish(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    fail("rename", from + " -> " + to, errno);
+  }
+  // Make the rename itself durable: fsync the directory entry. O_DIRECTORY
+  // open can legitimately fail on exotic filesystems; a publish that cannot
+  // be fsynced is still atomic, so only real fsync errors are fatal.
+  const std::string dir = parent_dir(to);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  const int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0 && err != EINVAL && err != ENOTSUP) fail("fsync dir", dir, err);
+}
+
+std::optional<std::uint64_t> file_size(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    fail("unlink", path, errno);
+  }
+}
+
+}  // namespace flexrt::fs

@@ -153,6 +153,15 @@ struct Provenance {
   /// bounds its distance to the exact answer. Never set by fixed policies
   /// or by ladders that finished on their own.
   bool degraded = false;
+  /// Executions this entry took under a journaled run's per-entry retry
+  /// (svc::run_journaled): > 1 means transient failures were retried on
+  /// the deterministic backoff schedule. Always 1 outside journaled runs.
+  std::size_t attempts = 1;
+  /// True when a journaled run exhausted its retry budget on this entry:
+  /// the row is an explicit quarantine error row (error + attempts record
+  /// what happened) rather than a transient failure, and the rest of the
+  /// fleet ran on. Never set when retrying is disabled (max_attempts 1).
+  bool quarantined = false;
   /// Wall time of this entry's request, milliseconds.
   double wall_ms = 0.0;
 };

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/error.hpp"
+
 namespace flexrt::svc {
 namespace {
 
@@ -116,6 +118,10 @@ JsonRow& JsonRow::null_field(std::string_view k) {
 JsonlWriter& JsonlWriter::write(std::string_view row) {
   out_ << row << '\n';
   if (flush_per_row_) out_.flush();
+  FLEXRT_REQUIRE(static_cast<bool>(out_),
+                 "write failed after " + std::to_string(rows_) +
+                     " rows (" + (name_.empty() ? "output stream" : name_) +
+                     "): disk full or stream closed?");
   ++rows_;
   return *this;
 }

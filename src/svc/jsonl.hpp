@@ -6,6 +6,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace flexrt::svc {
 
@@ -50,12 +51,20 @@ std::string json_escape(std::string_view raw);
 /// every row, so a killed run leaves at most one truncated final line
 /// (which json_row_complete below detects deterministically); buffered
 /// runs leave it off and keep normal ostream buffering.
+///
+/// Every write checks the stream afterwards and throws ModelError on
+/// failure (disk full, closed pipe, I/O error), naming the row count and
+/// the stream (`name`, when given). A report that cannot be written is an
+/// error the tool must exit non-zero on, not something to discover -- or
+/// not -- at flush time.
 class JsonlWriter {
  public:
-  explicit JsonlWriter(std::ostream& out, bool flush_per_row = false)
-      : out_(out), flush_per_row_(flush_per_row) {}
+  explicit JsonlWriter(std::ostream& out, bool flush_per_row = false,
+                       std::string name = {})
+      : out_(out), flush_per_row_(flush_per_row), name_(std::move(name)) {}
 
   /// Writes one finished row (no trailing newline expected) + '\n'.
+  /// Throws ModelError when the stream goes bad.
   JsonlWriter& write(std::string_view row);
   JsonlWriter& write(const JsonRow& row) { return write(row.str()); }
 
@@ -64,6 +73,7 @@ class JsonlWriter {
  private:
   std::ostream& out_;
   bool flush_per_row_;
+  std::string name_;
   std::size_t rows_ = 0;
 };
 

@@ -19,6 +19,11 @@ void provenance_fields(JsonRow& row, const Provenance& p, bool with_wall) {
     row.null_field("gap");
   }
   row.field("degraded", p.degraded);
+  // Journaled-run retry provenance. Rendered only when it says something
+  // (an entry that needed more than one execution, or was quarantined), so
+  // rows from non-journaled runs keep their exact pre-journal bytes.
+  if (p.attempts > 1) row.field("attempts", p.attempts);
+  if (p.quarantined) row.field("quarantined", true);
   if (with_wall) row.field("wall_ms", p.wall_ms);
 }
 
@@ -30,7 +35,14 @@ std::string study_trial_row(const SolveResult& r, hier::Scheduler alg,
       .field("alg", to_string(alg))
       .field("goal", to_string(goal))
       .field("packed", r.ok());
-  if (!r.ok()) return row.str();
+  if (!r.ok()) {
+    // Failed entries carry the cause and their (wall-free) provenance: a
+    // quarantined entry's row must say what failed and how many attempts
+    // it survived, not just "packed: false".
+    row.field("error", r.error);
+    provenance_fields(row, r.prov, /*with_wall=*/false);
+    return row.str();
+  }
   row.field("feasible", r.feasible);
   if (r.feasible) {
     row.field("period", r.design.schedule.period)

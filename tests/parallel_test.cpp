@@ -130,6 +130,78 @@ TEST(OrderedStream, SinkSeesOneCallAtATime) {
   EXPECT_FALSE(overlapped);
 }
 
+TEST(OrderedStream, WindowOfOneSerializesTheWholeStream) {
+  // window=1 is the degenerate gate: a worker may not start index i until
+  // i-1 has been emitted, so make and emit strictly alternate and nothing
+  // is ever buffered out of order. The journaled runner leans on this
+  // being correct (it is the tightest resume-friendly configuration).
+  const std::size_t n = 300;
+  std::atomic<std::size_t> started{0};
+  std::size_t emitted = 0;
+  const std::size_t peak = ordered_stream(
+      n, /*window=*/1,
+      [&](std::size_t i) {
+        // With window 1 the gate admits exactly one in-flight index: by
+        // the time i starts, every j < i has been emitted.
+        EXPECT_EQ(started.fetch_add(1), i);
+        return i;
+      },
+      [&](std::size_t i, std::size_t v) {
+        EXPECT_EQ(i, emitted);
+        EXPECT_EQ(v, i);
+        ++emitted;
+      });
+  EXPECT_EQ(emitted, n);
+  EXPECT_LE(peak, 1u);
+}
+
+TEST(OrderedStream, ExceptionAtTheFinalIndexStillDrains) {
+  // The last ticket is the edge case: nothing queues behind it to nudge
+  // the gate, so a throw there must still wake the drain and rethrow
+  // after every earlier index emitted.
+  for (const std::size_t window : {1u, 4u, 0u}) {
+    const std::size_t n = 64;
+    std::size_t emitted = 0;
+    EXPECT_THROW(ordered_stream(
+                     n, window,
+                     [&](std::size_t i) {
+                       if (i == n - 1) throw std::runtime_error("last");
+                       return i;
+                     },
+                     [&](std::size_t i, std::size_t) {
+                       EXPECT_EQ(i, emitted);
+                       ++emitted;
+                     }),
+                 std::runtime_error);
+    EXPECT_EQ(emitted, n - 1);
+  }
+}
+
+TEST(OrderedStream, SingleEntryStream) {
+  // A one-entry fleet (one task file, one trial) exercises every boundary
+  // at once: first index == last index == stream head.
+  for (const std::size_t window : {1u, 0u}) {
+    std::size_t emitted = 0;
+    const std::size_t peak = ordered_stream(
+        1, window, [](std::size_t i) { return i + 7; },
+        [&](std::size_t i, std::size_t v) {
+          EXPECT_EQ(i, 0u);
+          EXPECT_EQ(v, 7u);
+          ++emitted;
+        });
+    EXPECT_EQ(emitted, 1u);
+    EXPECT_LE(peak, 1u);
+  }
+  // ... and the failing single entry: rethrown, zero emissions, no hang.
+  std::size_t emitted = 0;
+  EXPECT_THROW(
+      ordered_stream(
+          1, 1, [](std::size_t) -> int { throw std::runtime_error("only"); },
+          [&](std::size_t, int) { ++emitted; }),
+      std::runtime_error);
+  EXPECT_EQ(emitted, 0u);
+}
+
 TEST(OrderedStream, PropagatesTheFirstExceptionWithoutDeadlock) {
   std::size_t emitted = 0;
   EXPECT_THROW(ordered_stream(

@@ -27,8 +27,11 @@
 #include "rt/deadline_bound.hpp"
 #include "rt/demand.hpp"
 #include "rt/priority.hpp"
+#include "common/fs.hpp"
 #include "stress_workloads.hpp"
 #include "svc/analysis_service.hpp"
+#include "svc/journal.hpp"
+#include "svc/jsonl.hpp"
 
 namespace {
 
@@ -284,6 +287,47 @@ int main(int argc, char** argv) {
     fleet_streamed_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
   }
 
+  // --- journaled fleet execution: the durability tax over the raw stream --
+  // Same fleet shape as stream_fleet, but every row goes through the
+  // crash-safe journal (append + atomic rename; the fsync variant upgrades
+  // each entry to a durable write). The delta against streamed_ms above is
+  // what --output costs; the fsync column is what --fsync adds on top.
+  std::size_t journal_entries = 0;
+  double journal_ms = 0.0, journal_fsync_ms = 0.0;
+  {
+    svc::AnalysisService service;
+    core::StudyOptions study;
+    study.trials = 256;
+    service.add_fleet(study,
+                      [](std::size_t, Rng& rng) { return gen::study_system(rng); });
+    journal_entries = service.size();
+    const svc::MinQuantumRequest req{hier::Scheduler::EDF, 1.0, false, {}};
+    (void)service.min_quantum(req);  // warm the engine cache
+    const std::string path = out_path + ".journal_bench.jsonl";
+    const auto timed_run = [&](bool fsync_per_entry) {
+      svc::Journal journal(path);
+      svc::JournalOptions opts;
+      opts.fsync_per_entry = fsync_per_entry;
+      const auto t0 = Clock::now();
+      svc::run_journaled(
+          journal, service.size(), opts,
+          [](std::string_view) { return true; },  // one row per entry
+          {}, [&](std::size_t i) { return service.min_quantum_one(i, req); },
+          [&](const svc::MinQuantumResult& r) {
+            svc::JsonRow row;
+            row.field("kind", "min_quantum")
+                .field("name", r.name)
+                .field("margin", r.margin);
+            return row.str() + "\n";
+          });
+      const auto t1 = Clock::now();
+      fs::remove_file(path);
+      return std::chrono::duration<double, std::milli>(t1 - t0).count();
+    };
+    journal_ms = timed_run(false);
+    journal_fsync_ms = timed_run(true);
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -296,6 +340,10 @@ int main(int argc, char** argv) {
                "\"buffered_ms\": %.2f, \"streamed_ms\": %.2f},\n",
                fleet_entries, fleet_entries, fleet_window, fleet_peak,
                fleet_buffered_ms, fleet_streamed_ms);
+  std::fprintf(out,
+               "  \"journal_fleet\": {\"entries\": %zu, \"journal_ms\": %.2f, "
+               "\"journal_fsync_ms\": %.2f},\n",
+               journal_entries, journal_ms, journal_fsync_ms);
   std::fprintf(out, "  \"threads\": %zu,\n  \"kernels\": [\n",
                par::thread_count());
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -319,6 +367,10 @@ int main(int argc, char** argv) {
       "peak %zu rows (window %zu); %.1f ms vs %.1f ms\n",
       fleet_entries, fleet_entries, fleet_peak, fleet_window,
       fleet_buffered_ms, fleet_streamed_ms);
+  std::printf(
+      "journal_fleet                %zu entries: journaled %.1f ms, "
+      "fsync-per-entry %.1f ms\n",
+      journal_entries, journal_ms, journal_fsync_ms);
   std::printf("report written to %s\n", out_path.c_str());
   return 0;
 }

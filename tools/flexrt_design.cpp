@@ -42,11 +42,24 @@
 // the output is byte-identical to the buffered path while peak memory stays
 // bounded by the reorder window instead of the fleet size.
 //
+// --output FILE (study, sweep, fault-sweep; implies --jsonl): crash-safe
+// journaled run through svc::run_journaled. Rows append to FILE.partial
+// (whole entries at a time, --fsync upgrades each to a durable write) and
+// FILE appears only via the final atomic rename, so it is either absent or
+// complete. --resume recovers the completed prefix of an interrupted
+// journal and computes only the remaining entries -- the resumed FILE is
+// byte-identical to an uninterrupted run. --retries N re-executes failing
+// entries up to N extra times on a deterministic backoff schedule; entries
+// still failing are quarantined as error rows (provenance carries the
+// attempt count) and the run exits 3. `merge --output FILE` publishes the
+// merged report through the same atomic temp-file + rename path.
+//
 // Legacy compatibility: `flexrt_design <taskfile> ...` (no subcommand) is
 // routed to `solve`.
 //
 // Exit status: 0 on success, 1 on infeasible design / failed verify /
-// simulated misses, 2 on usage or input errors.
+// simulated misses / error rows, 2 on usage or input errors, 3 when a
+// journaled run holds quarantined entries.
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -57,6 +70,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fs.hpp"
 #include "common/table.hpp"
 #include "core/design.hpp"
 #include "core/study_runner.hpp"
@@ -66,6 +80,7 @@
 #include "rt/priority.hpp"
 #include "sim/simulator.hpp"
 #include "svc/analysis_service.hpp"
+#include "svc/journal.hpp"
 #include "svc/jsonl.hpp"
 #include "svc/study_report.hpp"
 
@@ -95,9 +110,18 @@ int usage() {
          "         [--exact-supply] [--alg edf|rm] [--goal g]\n"
          "         [--overhead a,b,c] [--adaptive TOL] [--budget N] [--jsonl]\n"
          "         [--csv] [--stream]\n"
-         "  merge  <report.jsonl>...\n"
+         "  merge  <report.jsonl>... [--output FILE]\n"
          "common: --deadline MS  per-entry wall budget (adaptive ladders\n"
-         "        degrade to the last finished rung when it expires)\n";
+         "        degrade to the last finished rung when it expires)\n"
+         "journal (study, sweep, fault-sweep; implies --jsonl):\n"
+         "        --output FILE  crash-safe journaled run: rows append to\n"
+         "                       FILE.partial, FILE appears by atomic rename\n"
+         "        --resume       recover FILE.partial's completed prefix and\n"
+         "                       compute only the remaining entries\n"
+         "        --retries N    extra executions for failing entries on a\n"
+         "                       deterministic backoff; exhausted entries are\n"
+         "                       quarantined as error rows (exit 3)\n"
+         "        --fsync        fsync the journal after every entry\n";
   return 2;
 }
 
@@ -158,6 +182,10 @@ struct CommonOpts {
   bool jsonl = false;
   bool csv = false;
   bool stream = false;  ///< stream rows as entries finish (study, sweep)
+  std::string output;   ///< journaled run target file ("" = stdout report)
+  bool resume = false;  ///< recover an interrupted journal before running
+  std::size_t retries = 0;  ///< extra executions per failing entry
+  bool fsync = false;       ///< fsync the journal after every entry
 
   svc::AccuracyPolicy accuracy() const {
     svc::AccuracyPolicy p;
@@ -171,7 +199,49 @@ struct CommonOpts {
     if (deadline_ms > 0.0) p = p.with_deadline(deadline_ms);
     return p;
   }
+
+  bool journaled() const noexcept { return !output.empty(); }
+
+  /// The journal knobs require --output; true when the combination parses.
+  /// Journaled reports are JSONL by construction, so --output implies
+  /// --jsonl (checked by the caller after parsing, hence non-const).
+  bool finish_journal_flags() {
+    if (!journaled()) return !resume && retries == 0 && !fsync;
+    jsonl = true;
+    return true;
+  }
+
+  svc::JournalOptions journal_options() const {
+    svc::JournalOptions jopts;
+    jopts.resume = resume;
+    jopts.fsync_per_entry = fsync;
+    jopts.retry.max_attempts = retries + 1;
+    return jopts;
+  }
 };
+
+/// Exit code contributed by one journal row (rendered or replayed): 3 for
+/// a quarantined entry, 1 for an error row, else 0 -- max-combined across
+/// the run so quarantine outranks plain errors. Study rows are exempt from
+/// the error bump: an unpackable trial is study data (exit 0, matching the
+/// buffered study path), not a failure.
+int journal_row_rc(std::string_view row, bool errors_are_failures) {
+  if (svc::json_bool_field(row, "quarantined").value_or(false)) return 3;
+  if (!errors_are_failures) return 0;
+  if (svc::json_string_field(row, "error")) return 1;
+  if (!svc::json_bool_field(row, "feasible").value_or(true)) return 1;
+  return 0;
+}
+
+/// One journaled run's closing status line -- stderr, so the report file
+/// owns stdout-equivalent bytes and scripts can still parse the journal.
+void journal_note(const svc::JournalStats& stats, const std::string& path) {
+  std::cerr << "journal: " << path << ": " << stats.entries << " entries ("
+            << stats.replayed << " replayed, " << stats.executed
+            << " executed, " << stats.retried << " retried, "
+            << stats.quarantined << " quarantined)"
+            << (stats.already_complete ? " -- already complete" : "") << "\n";
+}
 
 /// Consumes one shared flag at argv[i]; returns -1 when the flag did not
 /// match, 0 on success, 2 on a malformed value.
@@ -246,6 +316,26 @@ int parse_common_flag(CommonOpts& o, int argc, char** argv, int& i) {
   }
   if (a == "--stream") {
     o.stream = true;
+    return 0;
+  }
+  if (a == "--output") {
+    const char* v = next();
+    if (!v || !*v) return 2;
+    o.output = v;
+    return 0;
+  }
+  if (a == "--resume") {
+    o.resume = true;
+    return 0;
+  }
+  if (a == "--retries") {
+    const char* v = next();
+    if (!v) return 2;
+    o.retries = parse_size("--retries", v);
+    return 0;
+  }
+  if (a == "--fsync") {
+    o.fsync = true;
     return 0;
   }
   return -1;
@@ -435,6 +525,10 @@ int cmd_solve(const std::vector<std::string>& argv_rest) {
     }
   }
   if (args.common.files.empty()) return usage();
+  // solve has no journal path: one-shot fleets report to stdout.
+  if (args.common.journaled() || !args.common.finish_journal_flags()) {
+    return usage();
+  }
 
   svc::AnalysisService service;
   load_fleet(service, args.common.files);
@@ -477,6 +571,51 @@ int cmd_solve(const std::vector<std::string>& argv_rest) {
 
 // --- sweep ----------------------------------------------------------------
 
+svc::JsonRow sweep_sample_row(const svc::RegionSweepResult& r,
+                              hier::Scheduler alg,
+                              const core::RegionSample& s) {
+  svc::JsonRow row;
+  row.field("kind", "sweep_sample")
+      .field("name", r.name)
+      .field("alg", to_string(alg))
+      .field("period", s.period)
+      .field("margin", s.margin);
+  return row;
+}
+
+/// The per-entry terminal "sweep" row. Journaled runs render it wall-free
+/// (with_wall = false): resume byte-identity needs deterministic rows, and
+/// wall_ms is the one nondeterministic provenance field. The stdout path
+/// keeps wall_ms, as it always has.
+svc::JsonRow sweep_summary_row(const svc::RegionSweepResult& r,
+                               hier::Scheduler alg, bool with_wall) {
+  svc::JsonRow row;
+  row.field("kind", "sweep").field("name", r.name).field("alg", to_string(alg));
+  if (r.ok()) {
+    row.field("samples", r.samples.size());
+  } else {
+    row.field("error", r.error);
+  }
+  svc::provenance_fields(row, r.prov, with_wall);
+  return row;
+}
+
+/// One entry's complete journal block: sample rows (ok entries only) then
+/// the terminal sweep row. Error/quarantined entries journal as a lone
+/// terminal error row -- the fleet carries on.
+std::string sweep_block(const svc::RegionSweepResult& r, hier::Scheduler alg) {
+  std::string out;
+  if (r.ok()) {
+    for (const core::RegionSample& s : r.samples) {
+      out += sweep_sample_row(r, alg, s).str();
+      out += '\n';
+    }
+  }
+  out += sweep_summary_row(r, alg, /*with_wall=*/false).str();
+  out += '\n';
+  return out;
+}
+
 int cmd_sweep(const std::vector<std::string>& argv_rest) {
   CommonOpts common;
   core::SearchOptions search;
@@ -512,11 +651,35 @@ int cmd_sweep(const std::vector<std::string>& argv_rest) {
       return usage();
     }
   }
-  if (common.files.empty()) return usage();
+  if (common.files.empty() || !common.finish_journal_flags()) return usage();
 
   svc::AnalysisService service;
   load_fleet(service, common.files);
   const svc::RegionSweepRequest req{common.alg, search, common.accuracy()};
+
+  if (common.journaled()) {
+    svc::Journal journal(common.output);
+    int rc = 0;
+    const auto terminal = [](std::string_view row) {
+      return svc::json_string_field(row, "kind").value_or("") == "sweep";
+    };
+    const svc::JournalStats stats = svc::run_journaled(
+        journal, service.size(), common.journal_options(), terminal,
+        [&](std::string_view row) {
+          rc = std::max(rc, journal_row_rc(row, /*errors_are_failures=*/true));
+        },
+        [&](std::size_t i) { return service.region_sweep_one(i, req); },
+        [&](const svc::RegionSweepResult& r) {
+          if (r.prov.quarantined) {
+            rc = std::max(rc, 3);
+          } else if (!r.ok()) {
+            rc = std::max(rc, 1);
+          }
+          return sweep_block(r, common.alg);
+        });
+    journal_note(stats, common.output);
+    return rc;
+  }
 
   // Streamed runs flush whole rows so a killed sweep leaves at most one
   // partial final line; buffered runs keep normal ostream buffering.
@@ -525,21 +688,9 @@ int cmd_sweep(const std::vector<std::string>& argv_rest) {
     if (!r.ok()) throw ModelError(r.error);
     if (common.jsonl) {
       for (const core::RegionSample& s : r.samples) {
-        svc::JsonRow row;
-        row.field("kind", "sweep_sample")
-            .field("name", r.name)
-            .field("alg", to_string(common.alg))
-            .field("period", s.period)
-            .field("margin", s.margin);
-        out.write(row);
+        out.write(sweep_sample_row(r, common.alg, s));
       }
-      svc::JsonRow row;
-      row.field("kind", "sweep")
-          .field("name", r.name)
-          .field("alg", to_string(common.alg))
-          .field("samples", r.samples.size());
-      provenance_fields(row, r.prov);
-      out.write(row);
+      out.write(sweep_summary_row(r, common.alg, /*with_wall=*/true));
     } else {
       std::cout << r.name << ": lhs(P) over [" << search.p_min << ", "
                 << search.p_max << "], " << to_string(common.alg) << " ("
@@ -600,6 +751,7 @@ int cmd_verify(const std::vector<std::string>& argv_rest) {
     }
   }
   if (common.files.empty() || period <= 0.0 || !have_quanta) return usage();
+  if (common.journaled() || !common.finish_journal_flags()) return usage();
 
   core::ModeSchedule schedule;
   schedule.period = period;
@@ -650,6 +802,70 @@ std::vector<double> parse_num_list(const char* flag, const std::string& spec) {
   return out;
 }
 
+svc::JsonRow fault_point_row(const svc::FaultSweepResult& r,
+                             const svc::FaultRatePoint& p, hier::Scheduler alg,
+                             bool with_baselines) {
+  svc::JsonRow row;
+  row.field("kind", "fault_point").field("name", r.name);
+  if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
+  row.field("alg", to_string(alg)).field("rate", p.rate);
+  if (std::isinf(p.recovery_gap)) {
+    row.null_field("recovery_gap");  // rate 0: no fault ever arrives
+  } else {
+    row.field("recovery_gap", p.recovery_gap);
+  }
+  row.field("ft_ok", p.ft_ok)
+      .field("fs_ok", p.fs_ok)
+      .field("nf_ok", p.nf_ok)
+      .field("nf_exposure", p.nf_exposure);
+  if (with_baselines) {
+    row.field("pb_ok", p.pb_ok)
+        .field("static_ft_ok", p.static_ft_ok)
+        .field("static_fs_ok", p.static_fs_ok)
+        .field("static_nf_ok", p.static_nf_ok);
+  }
+  return row;
+}
+
+/// The per-entry terminal "fault_sweep" row: carries the error for failed
+/// entries (whose partially computed points must not masquerade as sweep
+/// output), feasibility otherwise. Wall-free like study rows: fault-sweep
+/// reports are fleet reports, and byte-identity across buffered, streamed
+/// and journaled runs requires it.
+svc::JsonRow fault_sweep_summary_row(const svc::FaultSweepResult& r,
+                                     hier::Scheduler alg) {
+  svc::JsonRow row;
+  row.field("kind", "fault_sweep").field("name", r.name);
+  if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
+  row.field("alg", to_string(alg));
+  if (!r.ok()) {
+    row.field("error", r.error);
+  } else {
+    row.field("feasible", r.feasible);
+    if (r.feasible) {
+      row.field("period", r.schedule.period).field("points", r.points.size());
+    } else {
+      row.field("infeasible", r.infeasible);
+    }
+  }
+  svc::provenance_fields(row, r.prov, /*with_wall=*/false);
+  return row;
+}
+
+std::string fault_sweep_block(const svc::FaultSweepResult& r,
+                              hier::Scheduler alg, bool with_baselines) {
+  std::string out;
+  if (r.ok()) {
+    for (const svc::FaultRatePoint& p : r.points) {
+      out += fault_point_row(r, p, alg, with_baselines).str();
+      out += '\n';
+    }
+  }
+  out += fault_sweep_summary_row(r, alg).str();
+  out += '\n';
+  return out;
+}
+
 int cmd_fault_sweep(const std::vector<std::string>& argv_rest) {
   CommonOpts common;
   common.overheads = {0.05 / 3, 0.05 / 3, 0.05 / 3};  // paper's O_tot = 0.05
@@ -690,6 +906,7 @@ int cmd_fault_sweep(const std::vector<std::string>& argv_rest) {
   if (common.files.empty() == (study.trials == 0)) {
     return usage();  // exactly one fleet source: task files xor --trials
   }
+  if (!common.finish_journal_flags()) return usage();
 
   svc::AnalysisService service;
   if (study.trials > 0) {
@@ -706,6 +923,30 @@ int cmd_fault_sweep(const std::vector<std::string>& argv_rest) {
   req.goal = common.goal;
   req.accuracy = common.accuracy();
 
+  if (common.journaled()) {
+    svc::Journal journal(common.output);
+    int rc = 0;
+    const auto terminal = [](std::string_view row) {
+      return svc::json_string_field(row, "kind").value_or("") == "fault_sweep";
+    };
+    const svc::JournalStats stats = svc::run_journaled(
+        journal, service.size(), common.journal_options(), terminal,
+        [&](std::string_view row) {
+          rc = std::max(rc, journal_row_rc(row, /*errors_are_failures=*/true));
+        },
+        [&](std::size_t i) { return service.fault_sweep_one(i, req); },
+        [&](const svc::FaultSweepResult& r) {
+          if (r.prov.quarantined) {
+            rc = std::max(rc, 3);
+          } else if (!r.ok() || !r.feasible) {
+            rc = std::max(rc, 1);
+          }
+          return fault_sweep_block(r, common.alg, req.with_baselines);
+        });
+    journal_note(stats, common.output);
+    return rc;
+  }
+
   svc::JsonlWriter out(std::cout, /*flush_per_row=*/common.stream);
   int rc = 0;
   const auto print_result = [&](const svc::FaultSweepResult& r) {
@@ -713,53 +954,15 @@ int cmd_fault_sweep(const std::vector<std::string>& argv_rest) {
       if (!r.ok()) {
         // Error entries emit their one summary row only: a partially
         // computed points vector must not masquerade as sweep output.
-        svc::JsonRow row;
-        row.field("kind", "fault_sweep").field("name", r.name);
-        if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
-        row.field("alg", to_string(common.alg)).field("error", r.error);
-        // Wall-free like study rows: fault-sweep reports are fleet reports,
-        // and byte-identity across buffered/streamed runs requires it.
-        svc::provenance_fields(row, r.prov, /*with_wall=*/false);
-        out.write(row);
+        out.write(fault_sweep_summary_row(r, common.alg));
         rc = std::max(rc, 1);
         return;
       }
       for (const svc::FaultRatePoint& p : r.points) {
-        svc::JsonRow row;
-        row.field("kind", "fault_point").field("name", r.name);
-        if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
-        row.field("alg", to_string(common.alg)).field("rate", p.rate);
-        if (std::isinf(p.recovery_gap)) {
-          row.null_field("recovery_gap");  // rate 0: no fault ever arrives
-        } else {
-          row.field("recovery_gap", p.recovery_gap);
-        }
-        row.field("ft_ok", p.ft_ok)
-            .field("fs_ok", p.fs_ok)
-            .field("nf_ok", p.nf_ok)
-            .field("nf_exposure", p.nf_exposure);
-        if (req.with_baselines) {
-          row.field("pb_ok", p.pb_ok)
-              .field("static_ft_ok", p.static_ft_ok)
-              .field("static_fs_ok", p.static_fs_ok)
-              .field("static_nf_ok", p.static_nf_ok);
-        }
-        out.write(row);
+        out.write(fault_point_row(r, p, common.alg, req.with_baselines));
       }
-      svc::JsonRow row;
-      row.field("kind", "fault_sweep").field("name", r.name);
-      if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
-      row.field("alg", to_string(common.alg));
-      row.field("feasible", r.feasible);
-      if (r.feasible) {
-        row.field("period", r.schedule.period)
-            .field("points", r.points.size());
-      } else {
-        row.field("infeasible", r.infeasible);
-        rc = std::max(rc, 1);
-      }
-      svc::provenance_fields(row, r.prov, /*with_wall=*/false);
-      out.write(row);
+      if (!r.feasible) rc = std::max(rc, 1);
+      out.write(fault_sweep_summary_row(r, common.alg));
       return;
     }
     if (!r.ok()) {
@@ -832,6 +1035,7 @@ int cmd_study(const std::vector<std::string>& argv_rest) {
     if (core::parse_study_flag(study, argc, raw, i)) continue;
     return usage();
   }
+  if (!common.finish_journal_flags()) return usage();
 
   svc::AnalysisService service;
   service.add_fleet(study, [](std::size_t, Rng& rng) {
@@ -843,6 +1047,43 @@ int cmd_study(const std::vector<std::string>& argv_rest) {
   search.p_max = 10.0;
   const svc::SolveRequest req{common.alg, common.overheads, common.goal,
                               search, common.accuracy()};
+
+  if (common.journaled()) {
+    svc::Journal journal(common.output);
+    svc::StudyAggregate agg;
+    int rc = 0;
+    const auto terminal = [](std::string_view row) {
+      return svc::json_string_field(row, "kind").value_or("") == "study_trial";
+    };
+    // An unsharded journal carries the summary row as its epilogue --
+    // deliberately non-terminal, so a crash after it but before the rename
+    // truncates it away on resume and the recomputed aggregate re-emits it.
+    std::function<std::string()> epilogue;
+    if (study.shard.count == 1) {
+      epilogue = [&agg] { return agg.summary_row() + "\n"; };
+    }
+    const svc::JournalStats stats = svc::run_journaled(
+        journal, service.size(), common.journal_options(), terminal,
+        [&](std::string_view row) {
+          if (svc::json_string_field(row, "kind").value_or("") !=
+              "study_trial") {
+            return;  // a committed file's summary row: not a trial
+          }
+          agg.add(row);
+          rc = std::max(rc, journal_row_rc(row, /*errors_are_failures=*/false));
+        },
+        [&](std::size_t i) { return service.solve_one(i, req); },
+        [&](const svc::SolveResult& r) {
+          const std::string row =
+              svc::study_trial_row(r, common.alg, common.goal);
+          agg.add(row);
+          if (r.prov.quarantined) rc = std::max(rc, 3);
+          return row + "\n";
+        },
+        epilogue);
+    journal_note(stats, common.output);
+    return rc;
+  }
 
   if (common.jsonl) {
     // Rows and summary are identical whether buffered or streamed: the
@@ -902,7 +1143,21 @@ int cmd_study(const std::vector<std::string>& argv_rest) {
   return 0;
 }
 
-int cmd_merge(const std::vector<std::string>& files) {
+int cmd_merge(const std::vector<std::string>& argv_rest) {
+  std::vector<std::string> files;
+  std::string output;
+  for (std::size_t i = 0; i < argv_rest.size(); ++i) {
+    if (argv_rest[i] == "--output") {
+      if (i + 1 >= argv_rest.size() || argv_rest[i + 1].empty()) {
+        return usage();
+      }
+      output = argv_rest[++i];
+    } else if (!argv_rest[i].empty() && argv_rest[i][0] != '-') {
+      files.push_back(argv_rest[i]);
+    } else {
+      return usage();
+    }
+  }
   if (files.empty()) return usage();
   std::vector<std::string> rows;
   for (const std::string& file : files) {
@@ -913,6 +1168,28 @@ int cmd_merge(const std::vector<std::string>& files) {
     svc::collect_study_rows(in, file, rows);
   }
   svc::sort_study_rows(rows);  // throws on duplicate trials
+
+  if (!output.empty()) {
+    // Same atomic publish discipline as journaled runs: the merged report
+    // is staged whole in <output>.partial and appears only via the final
+    // rename, so a killed merge never leaves a half-written report that a
+    // later merge (or plot script) would trust.
+    std::string text;
+    svc::StudyAggregate agg;
+    for (const std::string& row : rows) {
+      text += row;
+      text += '\n';
+      agg.add(row);
+    }
+    text += agg.summary_row();
+    text += '\n';
+    svc::Journal journal(output);
+    journal.start_fresh();
+    journal.append(text);
+    journal.commit();
+    return 0;
+  }
+
   svc::JsonlWriter out(std::cout);
   svc::StudyAggregate agg;
   for (const std::string& row : rows) {
