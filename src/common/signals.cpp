@@ -1,0 +1,45 @@
+#include "common/signals.hpp"
+
+#include <csignal>
+
+namespace flexrt::sys {
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_signal{0};
+
+extern "C" void stop_handler(int sig) {
+  // Async-signal-safe: lock-free atomic stores only.
+  g_signal.store(sig, std::memory_order_relaxed);
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void install_stop_signals() {
+  struct sigaction sa = {};
+  sa.sa_handler = stop_handler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESTART: blocking reads/accepts resume; the work loops notice the
+  // flag at their own safe points instead of relying on EINTR.
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+const std::atomic<bool>& stop_requested() noexcept { return g_stop; }
+
+int stop_signal() noexcept { return g_signal.load(std::memory_order_relaxed); }
+
+void reset_stop_for_tests() noexcept {
+  g_stop.store(false, std::memory_order_relaxed);
+  g_signal.store(0, std::memory_order_relaxed);
+}
+
+void request_stop_for_tests(int signal_number) noexcept {
+  g_signal.store(signal_number, std::memory_order_relaxed);
+  g_stop.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace flexrt::sys

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <atomic>
+
+namespace flexrt::sys {
+
+/// Cooperative SIGINT/SIGTERM handling for the long-running front-ends
+/// (journaled `flexrt_design` runs and the `flexrtd` daemon).
+///
+/// install_stop_signals() installs handlers that do nothing but set a
+/// process-wide flag; the work loops poll stop_requested() at their safe
+/// points -- a journaled fleet between entries, the daemon's accept loop
+/// between poll() wakeups -- finish the in-flight unit, make their state
+/// durable, and exit with a documented code. No analysis is ever torn
+/// mid-entry by a signal: the flag is advisory, the safe points decide.
+///
+/// The handlers are async-signal-safe (they only store into a lock-free
+/// atomic) and idempotent to install. SIGKILL is of course not catchable;
+/// that path is what the crash-safe journal's resume contract covers.
+
+/// Installs the SIGINT and SIGTERM handlers (idempotent).
+void install_stop_signals();
+
+/// The process-wide stop flag the handlers set. Safe to read from any
+/// thread; cleared only by reset_stop_for_tests().
+const std::atomic<bool>& stop_requested() noexcept;
+
+/// The signal number that set the flag (0 when none yet) -- for exit
+/// diagnostics ("interrupted by SIGTERM").
+int stop_signal() noexcept;
+
+/// Clears the flag so a test can exercise the interrupt path repeatedly.
+void reset_stop_for_tests() noexcept;
+
+/// Raises the flag as if a signal had arrived -- the deterministic test
+/// hook for the interrupt paths (no kill() racing the scheduler).
+void request_stop_for_tests(int signal_number) noexcept;
+
+}  // namespace flexrt::sys

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -62,6 +63,17 @@ struct RetryPolicy {
   double delay_ms(std::size_t entry, std::size_t attempt) const noexcept;
 };
 
+/// Raised inside a journaled run when its cooperative stop flag goes up
+/// (SIGINT/SIGTERM via sys::install_stop_signals, or a test hook). Entries
+/// already emitted stay durable in the journal; the entry in flight when
+/// the flag rises still completes and is journaled; only not-yet-started
+/// entries are abandoned. The tool maps this to its documented exit code
+/// and the run resumes later with --resume.
+class InterruptedError : public Error {
+ public:
+  explicit InterruptedError(const std::string& what) : Error(what) {}
+};
+
 /// Knobs of one journaled run.
 struct JournalOptions {
   /// Recover the completed prefix of an existing partial journal and
@@ -75,6 +87,13 @@ struct JournalOptions {
   bool fsync_per_entry = false;
   /// Reorder window of the ordered stream (0 = library default).
   std::size_t window = 0;
+  /// Cooperative interrupt flag (usually &sys::stop_requested()). Checked
+  /// before each entry starts and before each retry sleep: when it rises,
+  /// in-flight entries finish and are journaled, the journal is fsynced
+  /// and left as a resumable .partial, and run_journaled reports
+  /// JournalStats::interrupted instead of committing. nullptr = never
+  /// interrupted.
+  const std::atomic<bool>* stop = nullptr;
   RetryPolicy retry{};
 };
 
@@ -88,6 +107,10 @@ struct JournalStats {
   std::size_t quarantined = 0;  ///< entries that exhausted max_attempts
   std::size_t max_buffered = 0; ///< reorder-buffer high-water mark
   bool already_complete = false;  ///< resume found a committed output
+  /// A stop signal interrupted the run: completed entries are durable in
+  /// the fsynced .partial journal, nothing was committed, and a --resume
+  /// finishes the run byte-identically. The tool exits 4 on this.
+  bool interrupted = false;
 };
 
 /// The durable journal file pair: `path` (the committed output) and
@@ -209,31 +232,55 @@ JournalStats run_journaled(Journal& journal, std::size_t n,
     journal.start_fresh();
   }
 
-  stats.max_buffered = par::ordered_stream(
-      n - done, opts.window,
-      [&](std::size_t j) {
-        const std::size_t i = done + j;
-        auto result = run_one(i);
-        std::size_t attempt = 1;
-        while (!result.ok() && attempt < opts.retry.max_attempts) {
-          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-              opts.retry.delay_ms(i, attempt)));
-          result = run_one(i);
-          ++attempt;
-        }
-        result.prov.attempts = attempt;
-        result.prov.quarantined = !result.ok() && opts.retry.max_attempts > 1;
-        return result;
-      },
-      [&](std::size_t, auto&& result) {
-        // Emission is serialized and in entry order (the ordered gate), so
-        // the stats and the journal advance together, race-free.
-        ++stats.executed;
-        if (result.prov.attempts > 1) ++stats.retried;
-        if (result.prov.quarantined) ++stats.quarantined;
-        journal.append(render(result));
-        if (opts.fsync_per_entry) journal.sync();
-      });
+  const auto interrupted = [&opts] {
+    return opts.stop && opts.stop->load(std::memory_order_relaxed);
+  };
+  try {
+    stats.max_buffered = par::ordered_stream(
+        n - done, opts.window,
+        [&](std::size_t j) {
+          const std::size_t i = done + j;
+          // Checked before the entry starts (and before each retry sleep),
+          // never mid-analysis: a signal finishes the in-flight entries and
+          // abandons only the not-yet-started tail.
+          if (interrupted()) {
+            throw InterruptedError("interrupted before entry " +
+                                   std::to_string(i));
+          }
+          auto result = run_one(i);
+          std::size_t attempt = 1;
+          while (!result.ok() && attempt < opts.retry.max_attempts) {
+            if (interrupted()) {
+              throw InterruptedError("interrupted while retrying entry " +
+                                     std::to_string(i));
+            }
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    opts.retry.delay_ms(i, attempt)));
+            result = run_one(i);
+            ++attempt;
+          }
+          result.prov.attempts = attempt;
+          result.prov.quarantined = !result.ok() && opts.retry.max_attempts > 1;
+          return result;
+        },
+        [&](std::size_t, auto&& result) {
+          // Emission is serialized and in entry order (the ordered gate), so
+          // the stats and the journal advance together, race-free.
+          ++stats.executed;
+          if (result.prov.attempts > 1) ++stats.retried;
+          if (result.prov.quarantined) ++stats.quarantined;
+          journal.append(render(result));
+          if (opts.fsync_per_entry) journal.sync();
+        });
+  } catch (const InterruptedError&) {
+    // Entries emitted before the interrupt are already in the journal;
+    // fsync makes the durable prefix survive anything that follows. No
+    // commit: the output appears only when a later --resume finishes it.
+    journal.sync();
+    stats.interrupted = true;
+    return stats;
+  }
 
   if (epilogue) {
     const std::string tail = epilogue();

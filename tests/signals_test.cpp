@@ -1,0 +1,45 @@
+// The cooperative stop flag behind SIGINT/SIGTERM handling: the test hooks
+// raise and clear it deterministically, stop_signal() reports who raised
+// it, and installation is idempotent. The real handler path (an actual
+// signal delivered to a journaled child / the daemon) is covered by the CI
+// daemon smoke and the journal kill tests.
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "common/signals.hpp"
+
+namespace flexrt::sys {
+namespace {
+
+TEST(StopSignals, TestHooksRaiseAndClearTheFlag) {
+  install_stop_signals();
+  install_stop_signals();  // idempotent
+  reset_stop_for_tests();
+  EXPECT_FALSE(stop_requested().load());
+  EXPECT_EQ(stop_signal(), 0);
+
+  request_stop_for_tests(SIGTERM);
+  EXPECT_TRUE(stop_requested().load());
+  EXPECT_EQ(stop_signal(), SIGTERM);
+
+  reset_stop_for_tests();
+  EXPECT_FALSE(stop_requested().load());
+  EXPECT_EQ(stop_signal(), 0);
+
+  request_stop_for_tests(SIGINT);
+  EXPECT_EQ(stop_signal(), SIGINT);
+  reset_stop_for_tests();
+}
+
+TEST(StopSignals, RealSignalDeliveryRaisesTheFlag) {
+  install_stop_signals();
+  reset_stop_for_tests();
+  ::raise(SIGTERM);  // handler stores into the atomic, nothing else
+  EXPECT_TRUE(stop_requested().load());
+  EXPECT_EQ(stop_signal(), SIGTERM);
+  reset_stop_for_tests();
+}
+
+}  // namespace
+}  // namespace flexrt::sys

@@ -575,5 +575,73 @@ TEST(JournalCrash, KillMidStudyThenResumeByteIdentical) {
   }
 }
 
+// --- cooperative interrupts (SIGINT/SIGTERM -> exit 4) --------------------
+
+TEST(JournalInterrupt, StopFlagFinishesInFlightEntryAndLeavesResumablePartial) {
+  AnalysisService service;
+  service.add_fleet(whole_study(), test_factory());
+  const SolveRequest req = solve_request();
+  const std::string ref = streamed_reference(service, req);
+  const std::string path = temp_path("interrupt");
+
+  // Raise the stop flag from inside entry 3's run_one -- the deterministic
+  // stand-in for a SIGTERM landing mid-entry. The entry must still finish
+  // and be journaled; the run reports interrupted instead of committing.
+  std::atomic<bool> stop{false};
+  {
+    Journal journal(path);
+    StudyAggregate agg;
+    JournalOptions opts;
+    opts.stop = &stop;
+    const JournalStats stats = run_journaled(
+        journal, service.size(), opts, is_trial_row,
+        [&](std::string_view row) {
+          if (is_trial_row(row)) agg.add(row);
+        },
+        [&](std::size_t i) {
+          if (i == 3) stop.store(true);
+          return service.solve_one(i, req);
+        },
+        [&](const SolveResult& r) {
+          const std::string row = study_trial_row(r, req.alg, req.goal);
+          agg.add(row);
+          return row + "\n";
+        },
+        [&agg] { return agg.summary_row() + "\n"; });
+    EXPECT_TRUE(stats.interrupted);
+    EXPECT_LT(stats.executed, 9u) << "the stop must cut the fleet short";
+  }
+  ASSERT_FALSE(fs::file_size(path).has_value())
+      << "an interrupted run must not publish the committed file";
+  ASSERT_TRUE(fs::file_size(path + ".partial").has_value())
+      << "the durable prefix lives in the .partial";
+
+  // Clearing the flag and resuming produces the uninterrupted bytes.
+  stop.store(false);
+  JournalOptions resume_opts;
+  resume_opts.resume = true;
+  resume_opts.stop = &stop;
+  const JournalStats stats = journaled_study(path, service, req, resume_opts);
+  EXPECT_FALSE(stats.interrupted);
+  EXPECT_GT(stats.replayed, 0u);
+  EXPECT_EQ(read_file(path), ref);
+  remove_journal(path);
+}
+
+TEST(JournalInterrupt, PreRaisedStopInterruptsBeforeAnyWork) {
+  AnalysisService service;
+  service.add_fleet(whole_study(), test_factory());
+  const std::string path = temp_path("interrupt_pre");
+  std::atomic<bool> stop{true};
+  JournalOptions opts;
+  opts.stop = &stop;
+  std::vector<std::size_t> executed;
+  const JournalStats stats =
+      journaled_study(path, service, solve_request(), opts, &executed);
+  EXPECT_TRUE(stats.interrupted);
+  EXPECT_TRUE(executed.empty()) << "no entry may start under a raised flag";
+  remove_journal(path);
+}
+
 }  // namespace
 }  // namespace flexrt::svc

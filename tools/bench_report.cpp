@@ -28,10 +28,16 @@
 #include "rt/demand.hpp"
 #include "rt/priority.hpp"
 #include "common/fs.hpp"
+#include "net/proto.hpp"
+#include "net/server.hpp"
 #include "stress_workloads.hpp"
 #include "svc/analysis_service.hpp"
 #include "svc/journal.hpp"
 #include "svc/jsonl.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
 
 namespace {
 
@@ -328,6 +334,82 @@ int main(int argc, char** argv) {
     journal_fsync_ms = timed_run(true);
   }
 
+  // --- daemon round-trip: process-per-request vs a warm resident session --
+  // Cold = exec the offline tool once per request (what a shell loop or a
+  // notebook pays today: shell, process start, pool spin-up, parse -- every
+  // time). Warm = the same solve over one persistent flexrtd session on a
+  // unix socket. The workload is deliberately small so the row measures the
+  // per-request fixed costs the daemon amortizes, not the solve itself
+  // (kernel timings live in the rows above).
+  double cold_ms = 0.0, warm_ms = 0.0;
+  std::size_t cold_runs = 0, warm_runs = 0;
+  {
+    static constexpr const char* kTasks =
+        "a 1 6 NF 0\nb 1 12 FS 0\nc 1 15 FT 0\n";
+    const std::string task_path = out_path + ".daemon_bench.tasks";
+    if (std::FILE* f = std::fopen(task_path.c_str(), "w")) {
+      std::fputs(kTasks, f);
+      std::fclose(f);
+    }
+    // The offline tool sits next to this binary; FLEXRT_DESIGN_BIN is the
+    // override for out-of-tree runs.
+    std::string tool = "./flexrt_design";
+    if (const char* env = std::getenv("FLEXRT_DESIGN_BIN")) {
+      tool = env;
+    } else {
+      const std::string self = argv[0];
+      const std::size_t slash = self.rfind('/');
+      if (slash != std::string::npos) {
+        tool = self.substr(0, slash) + "/flexrt_design";
+      }
+    }
+    const std::string cold_cmd =
+        tool + " solve --jsonl --no-wall " + task_path + " > /dev/null";
+    if (std::system(cold_cmd.c_str()) == 0) {  // smoke once, then time
+      cold_runs = 5;
+      const auto t0 = Clock::now();
+      for (std::size_t i = 0; i < cold_runs; ++i) {
+        (void)std::system(cold_cmd.c_str());
+      }
+      cold_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                    .count() /
+                static_cast<double>(cold_runs);
+    } else {
+      std::fprintf(stderr, "bench_report: %s not runnable, cold_process_ms=0\n",
+                   tool.c_str());
+    }
+
+    const std::string sock = out_path + ".daemon_bench.sock";
+    net::ServerOptions sopts;
+    sopts.socket_path = sock;
+    net::Server server(sopts);
+    server.start();
+    const int fd = net::dial(sock);
+    {
+      net::FdStream io(fd);
+      const auto request = [&](const std::string& cmd) {
+        io << cmd << std::flush;
+        bool truncated = false;
+        while (const auto line = net::proto::read_line(
+                   io, net::proto::kMaxLineBytes, &truncated)) {
+          if (net::proto::parse_status_line(*line)) break;
+        }
+      };
+      request("add bench\n" + std::string(kTasks) + ".\n");
+      request("solve\n");  // warm the session's engine cache
+      warm_runs = 50;
+      const auto t0 = Clock::now();
+      for (std::size_t i = 0; i < warm_runs; ++i) request("solve\n");
+      warm_ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                    .count() /
+                static_cast<double>(warm_runs);
+      request("quit\n");
+    }
+    ::close(fd);
+    server.stop();
+    fs::remove_file(task_path);
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -344,6 +426,12 @@ int main(int argc, char** argv) {
                "  \"journal_fleet\": {\"entries\": %zu, \"journal_ms\": %.2f, "
                "\"journal_fsync_ms\": %.2f},\n",
                journal_entries, journal_ms, journal_fsync_ms);
+  std::fprintf(out,
+               "  \"daemon_roundtrip\": {\"cold_runs\": %zu, "
+               "\"cold_process_ms\": %.2f, \"warm_runs\": %zu, "
+               "\"warm_request_ms\": %.2f, \"speedup\": %.2f},\n",
+               cold_runs, cold_ms, warm_runs, warm_ms,
+               warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
   std::fprintf(out, "  \"threads\": %zu,\n  \"kernels\": [\n",
                par::thread_count());
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -371,6 +459,11 @@ int main(int argc, char** argv) {
       "journal_fleet                %zu entries: journaled %.1f ms, "
       "fsync-per-entry %.1f ms\n",
       journal_entries, journal_ms, journal_fsync_ms);
+  std::printf(
+      "daemon_roundtrip             cold %8.1f ms/solve (exec, %zu runs)   "
+      "warm %8.2f ms/solve (resident, %zu runs)   %6.1fx\n",
+      cold_ms, cold_runs, warm_ms, warm_runs,
+      warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
   std::printf("report written to %s\n", out_path.c_str());
   return 0;
 }

@@ -31,11 +31,23 @@
 //                        [--goal g] [--overhead a,b,c] [--adaptive TOL]
 //                        [--budget N] [--jsonl] [--csv] [--stream]
 //   flexrt_design merge  <report.jsonl>...
+//   flexrt_design remote <addr> <subcommand> [args...]
+//   flexrt_design help | --help
 //
 // Every analysis subcommand also takes --deadline MS: a per-entry wall-time
 // budget; an adaptive ladder that runs out of time degrades gracefully to
 // the last completed rung's conservative answer (provenance degraded=true,
-// gap=null) instead of erroring or running on.
+// gap=null) instead of erroring or running on. --no-wall drops the
+// nondeterministic wall_ms provenance field from JSONL rows, making reports
+// byte-reproducible (and byte-comparable to `remote` output, which is
+// always wall-free).
+//
+// remote: run a subcommand on a flexrtd daemon (tools/flexrtd.cpp) instead
+// of in-process -- task files are uploaded with the wire `add` command,
+// generated studies are decomposed into `gen-fleet` + `solve --study`, and
+// the daemon's JSONL rows stream to stdout byte-identical to the offline
+// subcommand with --jsonl --no-wall (CI diffs them). <addr> is a unix
+// socket path, host:port, or port.
 //
 // --stream (study, sweep, fault-sweep): emit each entry's rows as soon as
 // its analysis finishes, through the service's ordered reassembly buffer --
@@ -59,9 +71,14 @@
 //
 // Exit status: 0 on success, 1 on infeasible design / failed verify /
 // simulated misses / error rows, 2 on usage or input errors, 3 when a
-// journaled run holds quarantined entries.
+// journaled run holds quarantined entries, 4 when SIGINT/SIGTERM
+// interrupted a journaled run (the fsynced .partial journal resumes with
+// --resume).
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -71,26 +88,40 @@
 
 #include "common/error.hpp"
 #include "common/fs.hpp"
+#include "common/signals.hpp"
 #include "common/table.hpp"
 #include "core/design.hpp"
 #include "core/study_runner.hpp"
 #include "gen/taskset_gen.hpp"
 #include "hier/response_time.hpp"
 #include "io/task_io.hpp"
+#include "net/proto.hpp"
+#include "net/server.hpp"
 #include "rt/priority.hpp"
 #include "sim/simulator.hpp"
 #include "svc/analysis_service.hpp"
 #include "svc/journal.hpp"
 #include "svc/jsonl.hpp"
+#include "svc/rows.hpp"
 #include "svc/study_report.hpp"
 
 using namespace flexrt;
 
 namespace {
 
-int usage() {
-  std::cerr
-      << "usage: flexrt_design <subcommand> ...\n"
+// Flag parsing and JSONL row rendering are shared with the wire protocol
+// (net/proto, svc/rows): the offline subcommands, the flexrtd daemon and
+// `remote` cannot drift apart because they run the same code.
+using net::proto::ArgVec;
+using net::proto::CommonOpts;
+using net::proto::parse_common_flag;
+using net::proto::parse_num;
+using net::proto::parse_num_list;
+using net::proto::parse_size;
+using net::proto::parse_triple;
+
+void usage_text(std::ostream& os) {
+  os << "usage: flexrt_design <subcommand> ...\n"
          "  solve  <taskfile>... [--alg edf|rm] [--goal min-overhead|max-slack]\n"
          "         [--overhead O_FT,O_FS,O_NF] [--adaptive TOL] [--budget N]\n"
          "         [--budget-cap N] [--jsonl] [--csv] [--sensitivity]\n"
@@ -111,8 +142,15 @@ int usage() {
          "         [--overhead a,b,c] [--adaptive TOL] [--budget N] [--jsonl]\n"
          "         [--csv] [--stream]\n"
          "  merge  <report.jsonl>... [--output FILE]\n"
+         "  remote <addr> solve|sweep|verify|minq|fault-sweep|study|status\n"
+         "         [args...]   run on a flexrtd daemon (addr = socket path,\n"
+         "         host:port, or port); rows stream back byte-identical to\n"
+         "         the offline subcommand with --jsonl --no-wall\n"
+         "  help | --help      print this text to stdout and exit 0\n"
          "common: --deadline MS  per-entry wall budget (adaptive ladders\n"
          "        degrade to the last finished rung when it expires)\n"
+         "        --no-wall      omit wall_ms from JSONL rows (deterministic,\n"
+         "        byte-comparable reports)\n"
          "journal (study, sweep, fault-sweep; implies --jsonl):\n"
          "        --output FILE  crash-safe journaled run: rows append to\n"
          "                       FILE.partial, FILE appears by atomic rename\n"
@@ -121,104 +159,21 @@ int usage() {
          "        --retries N    extra executions for failing entries on a\n"
          "                       deterministic backoff; exhausted entries are\n"
          "                       quarantined as error rows (exit 3)\n"
-         "        --fsync        fsync the journal after every entry\n";
+         "        --fsync        fsync the journal after every entry\n"
+         "SIGINT/SIGTERM during a journaled run: the in-flight entry\n"
+         "finishes and is journaled, the .partial is fsynced, exit 4;\n"
+         "finish later with --resume\n";
+}
+
+int usage() {
+  usage_text(std::cerr);
   return 2;
 }
 
-bool parse_triple(const std::string& spec, double& a, double& b, double& c) {
-  std::istringstream in(spec);
-  char c1 = 0, c2 = 0;
-  return static_cast<bool>(in >> a >> c1 >> b >> c2 >> c) && c1 == ',' &&
-         c2 == ',';
+int cmd_help() {
+  usage_text(std::cout);
+  return 0;
 }
-
-/// Strict numeric flag values: the whole token must parse, so typos like
-/// "--budget 64k" or "--adaptive xyz" are input errors (exit 2), not
-/// silently truncated values or an uncaught std::invalid_argument.
-double parse_num(const char* flag, const std::string& v) {
-  try {
-    std::size_t pos = 0;
-    const double out = std::stod(v, &pos);
-    if (pos == v.size()) return out;
-  } catch (const std::exception&) {
-  }
-  throw ModelError(std::string(flag) + ": bad number '" + v + "'");
-}
-
-std::size_t parse_size(const char* flag, const std::string& v) {
-  try {
-    std::size_t pos = 0;
-    const unsigned long long out = std::stoull(v, &pos, 10);
-    if (pos == v.size()) return static_cast<std::size_t>(out);
-  } catch (const std::exception&) {
-  }
-  throw ModelError(std::string(flag) + ": bad count '" + v + "'");
-}
-
-/// Re-exposes subcommand arguments in the argc/argv shape the shared flag
-/// parsers (parse_common_flag, core::parse_study_flag) consume.
-struct ArgVec {
-  explicit ArgVec(const std::vector<std::string>& args) : owned(args) {
-    for (std::string& s : owned) ptrs.push_back(s.data());
-  }
-  int argc() const { return static_cast<int>(ptrs.size()); }
-  char** argv() { return ptrs.data(); }
-  std::vector<std::string> owned;
-  std::vector<char*> ptrs;
-};
-
-/// Flags shared by every analysis subcommand. The accuracy knobs are kept
-/// as raw fields so --budget/--budget-cap/--adaptive compose in any flag
-/// order; accuracy() assembles the policy after parsing.
-struct CommonOpts {
-  std::vector<std::string> files;
-  hier::Scheduler alg = hier::Scheduler::EDF;
-  core::DesignGoal goal = core::DesignGoal::MinOverheadBandwidth;
-  core::Overheads overheads{0.0, 0.0, 0.0};
-  double adaptive_tol = -1.0;  ///< >= 0: adaptive accuracy requested
-  std::size_t budget = 0;      ///< fixed budget / ladder seed; 0 = default
-  std::size_t budget_cap = 0;  ///< adaptive ladder cap; 0 = default
-  double deadline_ms = 0.0;    ///< per-entry wall budget; > 0 activates
-  bool jsonl = false;
-  bool csv = false;
-  bool stream = false;  ///< stream rows as entries finish (study, sweep)
-  std::string output;   ///< journaled run target file ("" = stdout report)
-  bool resume = false;  ///< recover an interrupted journal before running
-  std::size_t retries = 0;  ///< extra executions per failing entry
-  bool fsync = false;       ///< fsync the journal after every entry
-
-  svc::AccuracyPolicy accuracy() const {
-    svc::AccuracyPolicy p;
-    if (adaptive_tol < 0.0) {
-      p = svc::AccuracyPolicy::fixed(budget);
-    } else {
-      p = svc::AccuracyPolicy::adaptive(adaptive_tol);
-      if (budget) p.initial_points = budget;
-      if (budget_cap) p.max_points = budget_cap;
-    }
-    if (deadline_ms > 0.0) p = p.with_deadline(deadline_ms);
-    return p;
-  }
-
-  bool journaled() const noexcept { return !output.empty(); }
-
-  /// The journal knobs require --output; true when the combination parses.
-  /// Journaled reports are JSONL by construction, so --output implies
-  /// --jsonl (checked by the caller after parsing, hence non-const).
-  bool finish_journal_flags() {
-    if (!journaled()) return !resume && retries == 0 && !fsync;
-    jsonl = true;
-    return true;
-  }
-
-  svc::JournalOptions journal_options() const {
-    svc::JournalOptions jopts;
-    jopts.resume = resume;
-    jopts.fsync_per_entry = fsync;
-    jopts.retry.max_attempts = retries + 1;
-    return jopts;
-  }
-};
 
 /// Exit code contributed by one journal row (rendered or replayed): 3 for
 /// a quarantined entry, 1 for an error row, else 0 -- max-combined across
@@ -243,102 +198,31 @@ void journal_note(const svc::JournalStats& stats, const std::string& path) {
             << (stats.already_complete ? " -- already complete" : "") << "\n";
 }
 
-/// Consumes one shared flag at argv[i]; returns -1 when the flag did not
-/// match, 0 on success, 2 on a malformed value.
-int parse_common_flag(CommonOpts& o, int argc, char** argv, int& i) {
-  const std::string a = argv[i];
-  const auto next = [&]() -> const char* {
-    return i + 1 < argc ? argv[++i] : nullptr;
-  };
-  if (a == "--alg") {
-    const char* v = next();
-    if (!v) return 2;
-    if (std::strcmp(v, "edf") == 0) {
-      o.alg = hier::Scheduler::EDF;
-    } else if (std::strcmp(v, "rm") == 0) {
-      o.alg = hier::Scheduler::FP;
-    } else {
-      return 2;
-    }
-    return 0;
-  }
-  if (a == "--goal") {
-    const char* v = next();
-    if (!v) return 2;
-    if (std::strcmp(v, "min-overhead") == 0) {
-      o.goal = core::DesignGoal::MinOverheadBandwidth;
-    } else if (std::strcmp(v, "max-slack") == 0) {
-      o.goal = core::DesignGoal::MaxSlackBandwidth;
-    } else {
-      return 2;
-    }
-    return 0;
-  }
-  if (a == "--overhead") {
-    const char* v = next();
-    if (!v ||
-        !parse_triple(v, o.overheads.ft, o.overheads.fs, o.overheads.nf)) {
-      return 2;
-    }
-    return 0;
-  }
-  if (a == "--adaptive") {
-    const char* v = next();
-    if (!v) return 2;
-    o.adaptive_tol = parse_num("--adaptive", v);
-    return 0;
-  }
-  if (a == "--budget") {
-    const char* v = next();
-    if (!v) return 2;
-    o.budget = parse_size("--budget", v);
-    return 0;
-  }
-  if (a == "--budget-cap") {
-    const char* v = next();
-    if (!v) return 2;
-    o.budget_cap = parse_size("--budget-cap", v);
-    return 0;
-  }
-  if (a == "--deadline") {
-    const char* v = next();
-    if (!v) return 2;
-    o.deadline_ms = parse_num("--deadline", v);
-    return 0;
-  }
-  if (a == "--jsonl") {
-    o.jsonl = true;
-    return 0;
-  }
-  if (a == "--csv") {
-    o.csv = true;
-    return 0;
-  }
-  if (a == "--stream") {
-    o.stream = true;
-    return 0;
-  }
-  if (a == "--output") {
-    const char* v = next();
-    if (!v || !*v) return 2;
-    o.output = v;
-    return 0;
-  }
-  if (a == "--resume") {
-    o.resume = true;
-    return 0;
-  }
-  if (a == "--retries") {
-    const char* v = next();
-    if (!v) return 2;
-    o.retries = parse_size("--retries", v);
-    return 0;
-  }
-  if (a == "--fsync") {
-    o.fsync = true;
-    return 0;
-  }
-  return -1;
+/// Journal knobs plus the cooperative stop flag: every journaled run is
+/// signal-aware -- SIGINT/SIGTERM finishes the in-flight entry, fsyncs the
+/// .partial journal, and exits 4 (see finish_journaled).
+svc::JournalOptions signal_aware_journal_options(const CommonOpts& common) {
+  sys::install_stop_signals();
+  svc::JournalOptions jopts = common.journal_options();
+  jopts.stop = &sys::stop_requested();
+  return jopts;
+}
+
+/// Closing note + exit code of a journaled run: the run's own rc, or the
+/// documented interrupt code 4 when a stop signal cut it short (completed
+/// entries are durable; --resume finishes the run byte-identically).
+int finish_journaled(const svc::JournalStats& stats, const std::string& path,
+                     int rc) {
+  journal_note(stats, path);
+  if (!stats.interrupted) return rc;
+  const int sig = sys::stop_signal();
+  std::cerr << "journal: interrupted by "
+            << (sig == SIGTERM  ? "SIGTERM"
+                : sig == SIGINT ? "SIGINT"
+                                : "stop request")
+            << " -- completed entries are durable in " << path
+            << ".partial; finish with --resume\n";
+  return 4;
 }
 
 /// Loads every file as one fleet entry (parse + channel packing).
@@ -349,10 +233,6 @@ void load_fleet(svc::AnalysisService& service,
     if (!in) throw ModelError("cannot open " + file);
     service.add_system(io::parse_mode_task_system(in).system, file);
   }
-}
-
-void provenance_fields(svc::JsonRow& row, const svc::Provenance& p) {
-  svc::provenance_fields(row, p, /*with_wall=*/true);
 }
 
 std::string provenance_note(const svc::Provenance& p) {
@@ -541,25 +421,10 @@ int cmd_solve(const std::vector<std::string>& argv_rest) {
     const svc::SolveResult& r = results[i];
     if (!r.ok()) throw ModelError(r.error);
     if (args.common.jsonl) {
-      svc::JsonRow row;
-      row.field("kind", "solve")
-          .field("name", r.name)
-          .field("alg", to_string(args.common.alg))
-          .field("goal", to_string(args.common.goal))
-          .field("feasible", r.feasible);
-      if (r.feasible) {
-        row.field("period", r.design.schedule.period)
-            .field("q_ft", r.design.schedule.ft.usable)
-            .field("q_fs", r.design.schedule.fs.usable)
-            .field("q_nf", r.design.schedule.nf.usable)
-            .field("slack", r.design.schedule.slack())
-            .field("slack_bw", r.design.schedule.slack_bandwidth())
-            .field("overhead_bw", r.design.schedule.overhead_bandwidth());
-      } else {
-        row.field("infeasible", r.infeasible);
-      }
-      provenance_fields(row, r.prov);
-      std::cout << row.str() << "\n";
+      std::cout << svc::solve_row(r, args.common.alg, args.common.goal,
+                                  /*with_wall=*/!args.common.no_wall)
+                       .str()
+                << "\n";
       if (!r.feasible) rc = std::max(rc, 1);
     } else {
       if (i) std::cout << "\n";
@@ -571,47 +436,19 @@ int cmd_solve(const std::vector<std::string>& argv_rest) {
 
 // --- sweep ----------------------------------------------------------------
 
-svc::JsonRow sweep_sample_row(const svc::RegionSweepResult& r,
-                              hier::Scheduler alg,
-                              const core::RegionSample& s) {
-  svc::JsonRow row;
-  row.field("kind", "sweep_sample")
-      .field("name", r.name)
-      .field("alg", to_string(alg))
-      .field("period", s.period)
-      .field("margin", s.margin);
-  return row;
-}
-
-/// The per-entry terminal "sweep" row. Journaled runs render it wall-free
-/// (with_wall = false): resume byte-identity needs deterministic rows, and
-/// wall_ms is the one nondeterministic provenance field. The stdout path
-/// keeps wall_ms, as it always has.
-svc::JsonRow sweep_summary_row(const svc::RegionSweepResult& r,
-                               hier::Scheduler alg, bool with_wall) {
-  svc::JsonRow row;
-  row.field("kind", "sweep").field("name", r.name).field("alg", to_string(alg));
-  if (r.ok()) {
-    row.field("samples", r.samples.size());
-  } else {
-    row.field("error", r.error);
-  }
-  svc::provenance_fields(row, r.prov, with_wall);
-  return row;
-}
-
 /// One entry's complete journal block: sample rows (ok entries only) then
-/// the terminal sweep row. Error/quarantined entries journal as a lone
+/// the terminal sweep row, wall-free (resume byte-identity needs
+/// deterministic rows). Error/quarantined entries journal as a lone
 /// terminal error row -- the fleet carries on.
 std::string sweep_block(const svc::RegionSweepResult& r, hier::Scheduler alg) {
   std::string out;
   if (r.ok()) {
     for (const core::RegionSample& s : r.samples) {
-      out += sweep_sample_row(r, alg, s).str();
+      out += svc::sweep_sample_row(r, alg, s).str();
       out += '\n';
     }
   }
-  out += sweep_summary_row(r, alg, /*with_wall=*/false).str();
+  out += svc::sweep_summary_row(r, alg, /*with_wall=*/false).str();
   out += '\n';
   return out;
 }
@@ -664,7 +501,8 @@ int cmd_sweep(const std::vector<std::string>& argv_rest) {
       return svc::json_string_field(row, "kind").value_or("") == "sweep";
     };
     const svc::JournalStats stats = svc::run_journaled(
-        journal, service.size(), common.journal_options(), terminal,
+        journal, service.size(), signal_aware_journal_options(common),
+        terminal,
         [&](std::string_view row) {
           rc = std::max(rc, journal_row_rc(row, /*errors_are_failures=*/true));
         },
@@ -677,8 +515,7 @@ int cmd_sweep(const std::vector<std::string>& argv_rest) {
           }
           return sweep_block(r, common.alg);
         });
-    journal_note(stats, common.output);
-    return rc;
+    return finish_journaled(stats, common.output, rc);
   }
 
   // Streamed runs flush whole rows so a killed sweep leaves at most one
@@ -688,9 +525,10 @@ int cmd_sweep(const std::vector<std::string>& argv_rest) {
     if (!r.ok()) throw ModelError(r.error);
     if (common.jsonl) {
       for (const core::RegionSample& s : r.samples) {
-        out.write(sweep_sample_row(r, common.alg, s));
+        out.write(svc::sweep_sample_row(r, common.alg, s));
       }
-      out.write(sweep_summary_row(r, common.alg, /*with_wall=*/true));
+      out.write(svc::sweep_summary_row(r, common.alg,
+                                       /*with_wall=*/!common.no_wall));
     } else {
       std::cout << r.name << ": lhs(P) over [" << search.p_min << ", "
                 << search.p_max << "], " << to_string(common.alg) << " ("
@@ -768,14 +606,10 @@ int cmd_verify(const std::vector<std::string>& argv_rest) {
   for (const svc::VerifyResult& r : results) {
     if (!r.ok()) throw ModelError(r.error);
     if (common.jsonl) {
-      svc::JsonRow row;
-      row.field("kind", "verify")
-          .field("name", r.name)
-          .field("alg", to_string(common.alg))
-          .field("period", period)
-          .field("schedulable", r.schedulable);
-      provenance_fields(row, r.prov);
-      std::cout << row.str() << "\n";
+      std::cout << svc::verify_row(r, common.alg, period,
+                                   /*with_wall=*/!common.no_wall)
+                       .str()
+                << "\n";
     } else {
       std::cout << r.name << ": "
                 << (r.schedulable ? "schedulable" : "NOT schedulable") << " ("
@@ -788,80 +622,16 @@ int cmd_verify(const std::vector<std::string>& argv_rest) {
 
 // --- fault-sweep ----------------------------------------------------------
 
-/// Comma-separated strict numbers ("0,0.01,0.1"); every token must parse
-/// (parse_num), so a malformed list is exit 2 naming the flag.
-std::vector<double> parse_num_list(const char* flag, const std::string& spec) {
-  std::vector<double> out;
-  std::size_t start = 0;
-  for (;;) {
-    const std::size_t comma = spec.find(',', start);
-    out.push_back(parse_num(flag, spec.substr(start, comma - start)));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
-}
-
-svc::JsonRow fault_point_row(const svc::FaultSweepResult& r,
-                             const svc::FaultRatePoint& p, hier::Scheduler alg,
-                             bool with_baselines) {
-  svc::JsonRow row;
-  row.field("kind", "fault_point").field("name", r.name);
-  if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
-  row.field("alg", to_string(alg)).field("rate", p.rate);
-  if (std::isinf(p.recovery_gap)) {
-    row.null_field("recovery_gap");  // rate 0: no fault ever arrives
-  } else {
-    row.field("recovery_gap", p.recovery_gap);
-  }
-  row.field("ft_ok", p.ft_ok)
-      .field("fs_ok", p.fs_ok)
-      .field("nf_ok", p.nf_ok)
-      .field("nf_exposure", p.nf_exposure);
-  if (with_baselines) {
-    row.field("pb_ok", p.pb_ok)
-        .field("static_ft_ok", p.static_ft_ok)
-        .field("static_fs_ok", p.static_fs_ok)
-        .field("static_nf_ok", p.static_nf_ok);
-  }
-  return row;
-}
-
-/// The per-entry terminal "fault_sweep" row: carries the error for failed
-/// entries (whose partially computed points must not masquerade as sweep
-/// output), feasibility otherwise. Wall-free like study rows: fault-sweep
-/// reports are fleet reports, and byte-identity across buffered, streamed
-/// and journaled runs requires it.
-svc::JsonRow fault_sweep_summary_row(const svc::FaultSweepResult& r,
-                                     hier::Scheduler alg) {
-  svc::JsonRow row;
-  row.field("kind", "fault_sweep").field("name", r.name);
-  if (r.trial != svc::kNoTrial) row.field("trial", r.trial);
-  row.field("alg", to_string(alg));
-  if (!r.ok()) {
-    row.field("error", r.error);
-  } else {
-    row.field("feasible", r.feasible);
-    if (r.feasible) {
-      row.field("period", r.schedule.period).field("points", r.points.size());
-    } else {
-      row.field("infeasible", r.infeasible);
-    }
-  }
-  svc::provenance_fields(row, r.prov, /*with_wall=*/false);
-  return row;
-}
-
 std::string fault_sweep_block(const svc::FaultSweepResult& r,
                               hier::Scheduler alg, bool with_baselines) {
   std::string out;
   if (r.ok()) {
     for (const svc::FaultRatePoint& p : r.points) {
-      out += fault_point_row(r, p, alg, with_baselines).str();
+      out += svc::fault_point_row(r, p, alg, with_baselines).str();
       out += '\n';
     }
   }
-  out += fault_sweep_summary_row(r, alg).str();
+  out += svc::fault_sweep_summary_row(r, alg).str();
   out += '\n';
   return out;
 }
@@ -930,7 +700,8 @@ int cmd_fault_sweep(const std::vector<std::string>& argv_rest) {
       return svc::json_string_field(row, "kind").value_or("") == "fault_sweep";
     };
     const svc::JournalStats stats = svc::run_journaled(
-        journal, service.size(), common.journal_options(), terminal,
+        journal, service.size(), signal_aware_journal_options(common),
+        terminal,
         [&](std::string_view row) {
           rc = std::max(rc, journal_row_rc(row, /*errors_are_failures=*/true));
         },
@@ -943,8 +714,7 @@ int cmd_fault_sweep(const std::vector<std::string>& argv_rest) {
           }
           return fault_sweep_block(r, common.alg, req.with_baselines);
         });
-    journal_note(stats, common.output);
-    return rc;
+    return finish_journaled(stats, common.output, rc);
   }
 
   svc::JsonlWriter out(std::cout, /*flush_per_row=*/common.stream);
@@ -954,15 +724,15 @@ int cmd_fault_sweep(const std::vector<std::string>& argv_rest) {
       if (!r.ok()) {
         // Error entries emit their one summary row only: a partially
         // computed points vector must not masquerade as sweep output.
-        out.write(fault_sweep_summary_row(r, common.alg));
+        out.write(svc::fault_sweep_summary_row(r, common.alg));
         rc = std::max(rc, 1);
         return;
       }
       for (const svc::FaultRatePoint& p : r.points) {
-        out.write(fault_point_row(r, p, common.alg, req.with_baselines));
+        out.write(svc::fault_point_row(r, p, common.alg, req.with_baselines));
       }
       if (!r.feasible) rc = std::max(rc, 1);
-      out.write(fault_sweep_summary_row(r, common.alg));
+      out.write(svc::fault_sweep_summary_row(r, common.alg));
       return;
     }
     if (!r.ok()) {
@@ -1063,7 +833,8 @@ int cmd_study(const std::vector<std::string>& argv_rest) {
       epilogue = [&agg] { return agg.summary_row() + "\n"; };
     }
     const svc::JournalStats stats = svc::run_journaled(
-        journal, service.size(), common.journal_options(), terminal,
+        journal, service.size(), signal_aware_journal_options(common),
+        terminal,
         [&](std::string_view row) {
           if (svc::json_string_field(row, "kind").value_or("") !=
               "study_trial") {
@@ -1081,8 +852,7 @@ int cmd_study(const std::vector<std::string>& argv_rest) {
           return row + "\n";
         },
         epilogue);
-    journal_note(stats, common.output);
-    return rc;
+    return finish_journaled(stats, common.output, rc);
   }
 
   if (common.jsonl) {
@@ -1200,6 +970,134 @@ int cmd_merge(const std::vector<std::string>& argv_rest) {
   return 0;
 }
 
+// --- remote ---------------------------------------------------------------
+
+/// Sends one wire command (possibly with a multi-line `add` payload) and
+/// pumps the reply: data rows go to stdout verbatim, the status line ends
+/// the exchange and yields the command's offline exit code. Throws on an
+/// `error` status or a dropped connection.
+int wire_exchange(net::FdStream& io, const std::string& payload) {
+  io << payload << std::flush;
+  if (!io) throw ModelError("remote: connection lost while sending");
+  for (;;) {
+    const std::optional<std::string> line =
+        net::proto::read_line(io, net::proto::kMaxLineBytes, nullptr);
+    if (!line) throw ModelError("remote: server closed the connection");
+    const std::optional<net::proto::WireStatus> st =
+        net::proto::parse_status_line(*line);
+    if (!st) {
+      std::cout << *line << "\n";
+      continue;
+    }
+    if (st->failed) throw ModelError("remote: server: " + st->message);
+    return st->rc;
+  }
+}
+
+/// One task file as a wire `add` block: the file path doubles as the wire
+/// name, so remote rows carry the same "name" field as offline rows.
+std::string add_payload(const std::string& file) {
+  std::ifstream in(file);
+  if (!in) throw ModelError("cannot open " + file);
+  std::ostringstream body;
+  body << in.rdbuf();
+  std::string text = body.str();
+  if (!text.empty() && text.back() != '\n') text += '\n';
+  return "add " + file + "\n" + text + ".\n";
+}
+
+int cmd_remote(const std::vector<std::string>& rest) {
+  if (rest.size() < 2) return usage();
+  const std::string& addr = rest[0];
+  const std::string& sub = rest[1];
+  static const char* kSubs[] = {"solve", "sweep",       "verify", "minq",
+                                "study", "fault-sweep", "status"};
+  if (std::find_if(std::begin(kSubs), std::end(kSubs), [&](const char* s) {
+        return sub == s;
+      }) == std::end(kSubs)) {
+    return usage();
+  }
+  const std::vector<std::string> args(rest.begin() + 2, rest.end());
+  for (const std::string& a : args) {
+    for (const char* f :
+         {"--csv", "--output", "--resume", "--retries", "--fsync"}) {
+      if (a == f) {
+        throw ModelError("remote: " + a +
+                         " is offline-only (wire reports are plain JSONL)");
+      }
+    }
+  }
+
+  // Split the arguments three ways: study flags (become the wire gen-fleet
+  // command), bare tokens (task files, uploaded via `add`), and everything
+  // else (forwarded verbatim to the wire request).
+  core::StudyOptions study;
+  study.trials = 0;  // 0 = no generated fleet requested
+  std::vector<std::string> files, fwd;
+  {
+    ArgVec av(args);
+    const int argc = av.argc();
+    char** raw = av.argv();
+    for (int i = 0; i < argc; ++i) {
+      if (core::parse_study_flag(study, argc, raw, i)) continue;
+      const std::string a = raw[i];
+      if (!a.empty() && a[0] != '-') {
+        files.push_back(a);
+        continue;
+      }
+      fwd.push_back(a);
+      static const char* kValued[] = {
+          "--alg",    "--goal",  "--overhead", "--adaptive", "--budget",
+          "--budget-cap", "--deadline", "--period", "--quanta", "--p-min",
+          "--p-max",  "--step",  "--rates",    "--min-sep"};
+      for (const char* f : kValued) {
+        if (a == f && i + 1 < argc) {
+          fwd.push_back(raw[++i]);
+          break;
+        }
+      }
+    }
+  }
+  const bool study_cmd = (sub == "study");
+  const bool gen_mode = study_cmd || study.trials > 0;
+  if (study_cmd && study.trials == 0) study.trials = 100;  // study default
+  if (gen_mode && !files.empty()) {
+    throw ModelError("remote " + sub +
+                     ": task files and --trials are mutually exclusive");
+  }
+  if (!gen_mode && files.empty() && sub != "status") {
+    throw ModelError("remote " + sub + ": no task files given");
+  }
+
+  const int fd = net::dial(addr);
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+  net::FdStream io(fd);
+
+  if (gen_mode) {
+    std::ostringstream gen;
+    gen << "gen-fleet --trials " << study.trials << " --seed "
+        << study.base_seed;
+    if (study.shard.count > 1) {
+      gen << " --shard " << study.shard.index + 1 << "/" << study.shard.count;
+    }
+    wire_exchange(io, gen.str() + "\n");
+  } else {
+    for (const std::string& f : files) wire_exchange(io, add_payload(f));
+  }
+
+  std::string cmd = study_cmd ? "solve --study" : sub;
+  for (const std::string& a : fwd) {
+    cmd += ' ';
+    cmd += a;
+  }
+  const int rc = wire_exchange(io, cmd + "\n");
+  wire_exchange(io, "quit\n");
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1213,7 +1111,8 @@ int main(int argc, char** argv) {
     if (cmd == "study") return cmd_study(rest);
     if (cmd == "fault-sweep") return cmd_fault_sweep(rest);
     if (cmd == "merge") return cmd_merge(rest);
-    if (cmd == "--help" || cmd == "-h") return usage();
+    if (cmd == "remote") return cmd_remote(rest);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") return cmd_help();
     // Legacy form: flexrt_design [flags...] <taskfile> [flags...] == solve
     // (the pre-subcommand CLI accepted the file at any position, so flags
     // before the file must keep working too).
