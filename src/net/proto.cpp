@@ -12,6 +12,7 @@
 #include "common/parallel.hpp"
 #include "gen/taskset_gen.hpp"
 #include "io/task_io.hpp"
+#include "svc/memo_cache.hpp"
 #include "svc/rows.hpp"
 #include "svc/study_report.hpp"
 
@@ -339,7 +340,7 @@ int Session::dispatch(const std::vector<std::string>& tokens, std::istream& in,
   if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "verify") return cmd_verify(args);
   if (cmd == "fault-sweep") return cmd_fault_sweep(args);
-  if (cmd == "status") return cmd_status();
+  if (cmd == "status") return cmd_status(args);
   if (cmd == "drop") {
     service_ = std::make_unique<svc::AnalysisService>();
     generated_ = false;
@@ -630,7 +631,15 @@ int Session::cmd_fault_sweep(const std::vector<std::string>& args) {
   return rc;
 }
 
-int Session::cmd_status() {
+int Session::cmd_status(const std::vector<std::string>& args) {
+  bool with_memo = false;
+  for (const std::string& a : args) {
+    if (a == "--memo") {
+      with_memo = true;
+    } else {
+      throw ModelError("usage: status [--memo]");
+    }
+  }
   svc::JsonRow row;
   row.field("kind", "status")
       .field("fleet", service_->size())
@@ -642,6 +651,21 @@ int Session::cmd_status() {
   }
   row.field("threads", par::thread_count())
       .field("max_line", max_line_);
+  if (with_memo) {
+    // Process-wide memo effectiveness (spec in tools/README.md): sessions
+    // own private fleets but share the content-addressed answer cache, so
+    // these counters tell an operator how much daemon traffic
+    // deduplicates. Opt-in: the counters are cumulative across every
+    // session of the process, so a plain `status` stays byte-stable for
+    // the deterministic-transcript contracts (and pre-cache clients).
+    const svc::MemoStats memo = svc::global_memo().stats();
+    row.field("memo_enabled", memo.enabled)
+        .field("memo_hits", memo.hits)
+        .field("memo_misses", memo.misses)
+        .field("memo_evictions", memo.evictions)
+        .field("memo_entries", memo.entries)
+        .field("memo_bytes", memo.bytes);
+  }
   svc::JsonlWriter rows(out_);
   rows.write(row);
   ok_line(0, "fleet=" + std::to_string(service_->size()));

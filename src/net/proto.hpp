@@ -36,7 +36,7 @@ namespace flexrt::net::proto {
 ///       verify --period P --quanta a,b,c [--exact-supply] [common flags]
 ///       fault-sweep [--rates r1,r2,..] [--min-sep S] [--no-baselines]
 ///                   [--exact-supply] [common flags]
-///       drop | status | quit
+///       drop | status [--memo] | quit
 ///
 ///   server -> client: zero or more JSONL data rows (lines starting with
 ///       '{', byte-identical to the offline subcommand's --jsonl --no-wall
@@ -202,7 +202,7 @@ class Session {
   int cmd_sweep(const std::vector<std::string>& args);
   int cmd_verify(const std::vector<std::string>& args);
   int cmd_fault_sweep(const std::vector<std::string>& args);
-  int cmd_status();
+  int cmd_status(const std::vector<std::string>& args);
 
   void require_fleet() const;
   void ok_line(int rc, const std::string& extras = {});

@@ -12,11 +12,20 @@
 #include "common/parallel.hpp"
 #include "fault/recovery.hpp"
 #include "gen/taskset_gen.hpp"
+#include "svc/memo_cache.hpp"
 
 namespace flexrt::svc {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+rt::CanonicalSystem canonicalize(const core::ModeTaskSystem& sys) {
+  rt::CanonicalBuilder b;
+  for (const rt::Mode mode : core::kAllModes) {
+    b.add_group(static_cast<std::uint64_t>(mode), sys.partitions(mode));
+  }
+  return b.finish();
+}
 
 std::size_t resolve_budget(std::size_t points, hier::Scheduler alg) noexcept {
   if (points) return points;
@@ -75,7 +84,11 @@ Value run_ladder(const EngineAt& engine_at, const AccuracyPolicy& pol,
   std::optional<Value> prev;
   for (std::size_t round = 1;; ++round) {
     notify(round);
-    const analysis::BatchEngine& eng = engine_at(budget);
+    // Pinned for the whole round: the bounded engine cache may evict
+    // concurrently, and the probe must outlive any eviction.
+    const std::shared_ptr<const analysis::BatchEngine> pinned =
+        engine_at(budget);
+    const analysis::BatchEngine& eng = *pinned;
     value = probe(eng);
     if (record_probe(eng, round, budget, prov)) {
       prov.gap = 0.0;
@@ -113,6 +126,169 @@ double array_move(const std::array<double, 3>& a, const std::array<double, 3>& b
   return m;
 }
 
+// --- memo keys ------------------------------------------------------------
+//
+// The request half of the memo key. Time-dimensioned parameters hash
+// through CanonicalSystem::time so a request against a rescaled twin
+// system produces the same key; dimensionless knobs hash raw. Every
+// request type leads with a distinct tag, so identical parameter lists of
+// different kinds cannot alias. The deadline is absent by construction:
+// deadline-active requests bypass the memo entirely (degraded answers are
+// wall-clock-dependent and must never be replayed as definitive).
+
+void hash_policy(rt::HashStream& h, const AccuracyPolicy& pol,
+                 hier::Scheduler alg) {
+  h.u64(static_cast<std::uint64_t>(alg))
+      .boolean(pol.is_adaptive)
+      .u64(resolve_budget(pol.initial_points, alg))
+      .f64(pol.tol)
+      .u64(pol.max_points);
+}
+
+void hash_search(rt::HashStream& h, const rt::CanonicalSystem& c,
+                 const core::SearchOptions& s) {
+  c.time(h, s.p_min);
+  if (s.p_max > 0.0) {
+    c.time(h, s.p_max);
+  } else {
+    h.f64(s.p_max);  // auto range: scale-free sentinel
+  }
+  c.time(h, s.grid_step);
+  c.time(h, s.tolerance);
+  h.boolean(s.use_exact_supply);
+}
+
+void hash_overheads(rt::HashStream& h, const rt::CanonicalSystem& c,
+                    const core::Overheads& o) {
+  c.time(h, o.ft);
+  c.time(h, o.fs);
+  c.time(h, o.nf);
+}
+
+void hash_schedule(rt::HashStream& h, const rt::CanonicalSystem& c,
+                   const core::ModeSchedule& s) {
+  c.time(h, s.period);
+  for (const core::Slot* slot : {&s.ft, &s.fs, &s.nf}) {
+    c.time(h, slot->usable);
+    c.time(h, slot->overhead);
+  }
+}
+
+void hash_request(rt::HashStream& h, const rt::CanonicalSystem& c,
+                  const SolveRequest& r) {
+  h.u64(1);
+  hash_policy(h, r.accuracy, r.alg);
+  hash_overheads(h, c, r.overheads);
+  h.u64(static_cast<std::uint64_t>(r.goal));
+  hash_search(h, c, r.search);
+}
+
+void hash_request(rt::HashStream& h, const rt::CanonicalSystem& c,
+                  const MinQuantumRequest& r) {
+  h.u64(2);
+  hash_policy(h, r.accuracy, r.alg);
+  c.time(h, r.period);
+  h.boolean(r.use_exact_supply);
+}
+
+void hash_request(rt::HashStream& h, const rt::CanonicalSystem& c,
+                  const RegionSweepRequest& r) {
+  h.u64(3);
+  hash_policy(h, r.accuracy, r.alg);
+  hash_search(h, c, r.search);
+}
+
+void hash_request(rt::HashStream& h, const rt::CanonicalSystem& c,
+                  const SensitivityRequest& r) {
+  h.u64(4);
+  hash_policy(h, r.accuracy, r.alg);
+  hash_schedule(h, c, r.schedule);
+  h.str(r.task).boolean(r.include_global).f64(r.lambda_max).f64(r.tolerance);
+}
+
+void hash_request(rt::HashStream& h, const rt::CanonicalSystem& c,
+                  const VerifyRequest& r) {
+  h.u64(5);
+  hash_policy(h, r.accuracy, r.alg);
+  hash_schedule(h, c, r.schedule);
+  h.boolean(r.use_exact_supply);
+}
+
+void hash_request(rt::HashStream& h, const rt::CanonicalSystem& c,
+                  const FaultSweepRequest& r) {
+  h.u64(6);
+  hash_policy(h, r.accuracy, r.alg);
+  h.u64(r.rates.size());
+  for (const double rate : r.rates) c.inverse_time(h, rate);
+  c.time(h, r.min_separation);
+  hash_overheads(h, c, r.overheads);
+  h.u64(static_cast<std::uint64_t>(r.goal));
+  hash_search(h, c, r.search);
+  h.boolean(r.use_exact_supply).boolean(r.with_baselines);
+}
+
+// --- cross-scale rescaling ------------------------------------------------
+//
+// A memo hit whose producer ran at a different canonical time scale maps
+// the stored answer back by multiplying every time-dimensioned field by
+// k = consumer_scale / producer_scale (rates and exposures divide).
+// Same-scale hits -- every identical repeat -- skip this entirely and
+// return the stored payload verbatim, which is what makes warm output
+// bit-identical to cold output.
+
+void rescale_schedule(core::ModeSchedule& s, double k) {
+  s.period *= k;
+  for (core::Slot* slot : {&s.ft, &s.fs, &s.nf}) {
+    slot->usable *= k;
+    slot->overhead *= k;
+  }
+}
+
+void rescale_gap(Provenance& prov, double k) {
+  if (prov.gap) *prov.gap *= k;
+}
+
+void rescale_payload(SolveResult& r, double k) {
+  if (r.feasible) {
+    rescale_schedule(r.design.schedule, k);
+    r.design.min_quantum_ft *= k;
+    r.design.min_quantum_fs *= k;
+    r.design.min_quantum_nf *= k;
+  }
+  rescale_gap(r.prov, k);  // ladder move: a period distance
+}
+
+void rescale_payload(MinQuantumResult& r, double k) {
+  for (double& q : r.mode_quantum) q *= k;
+  r.margin *= k;
+  rescale_gap(r.prov, k);
+}
+
+void rescale_payload(RegionSweepResult& r, double k) {
+  for (core::RegionSample& s : r.samples) {
+    s.period *= k;
+    s.margin *= k;
+  }
+  rescale_gap(r.prov, k);
+}
+
+void rescale_payload(SensitivityResult& r, double k) {
+  for (core::TaskMargin& m : r.margins) m.wcet *= k;
+  // scale_margin, global_margin and the ladder gap are dimensionless.
+}
+
+void rescale_payload(VerifyResult&, double) {}  // verdict only
+
+void rescale_payload(FaultSweepResult& r, double k) {
+  if (r.feasible) rescale_schedule(r.schedule, k);
+  for (FaultRatePoint& p : r.points) {
+    p.rate /= k;
+    p.recovery_gap *= k;  // +inf at rate 0 stays +inf
+    p.nf_exposure /= k;
+  }
+  rescale_gap(r.prov, k);  // design-phase ladder move: a period distance
+}
+
 }  // namespace
 
 std::size_t AnalysisService::add_system(core::ModeTaskSystem sys,
@@ -121,6 +297,7 @@ std::size_t AnalysisService::add_system(core::ModeTaskSystem sys,
   e.name = name.empty() ? "system" + std::to_string(entries_.size())
                         : std::move(name);
   e.system = std::move(sys);
+  e.canon = canonicalize(*e.system);
   entries_.push_back(std::move(e));
   return entries_.size() - 1;
 }
@@ -147,7 +324,11 @@ std::size_t AnalysisService::add_fleet(const core::StudyOptions& study,
     e.name = prefix + std::to_string(t);
     e.trial = t;
     e.system = make(t, rng);
-    if (!e.system) e.error = "packing failed";
+    if (!e.system) {
+      e.error = "packing failed";
+    } else {
+      e.canon = canonicalize(*e.system);
+    }
     entries_.push_back(std::move(e));
   }
   return first;
@@ -160,15 +341,16 @@ const core::ModeTaskSystem& AnalysisService::system(std::size_t i) const {
   return *e.system;
 }
 
-const analysis::BatchEngine& AnalysisService::engine(
+std::shared_ptr<const analysis::BatchEngine> AnalysisService::engine_ptr(
     std::size_t i, hier::Scheduler alg, std::size_t max_points) const {
   const core::ModeTaskSystem& sys = system(i);  // validates the entry
   const std::size_t budget = resolve_budget(max_points, alg);
   const EngineKey key{i, static_cast<int>(alg), budget};
+  EngineShard& shard = engine_shard(key);
   {
-    std::scoped_lock lock(mu_);
-    const auto it = engines_.find(key);
-    if (it != engines_.end()) return *it->second;
+    std::scoped_lock lock(shard.mu);
+    const auto it = shard.engines.find(key);
+    if (it != shard.engines.end()) return it->second;
   }
   // Construct outside the lock -- fleet requests hit this from every
   // worker at once, and serializing the task-set snapshots would bottleneck
@@ -179,11 +361,32 @@ const analysis::BatchEngine& AnalysisService::engine(
   dl_opts.max_points = budget;
   rt::FpPointOptions fp_opts;
   fp_opts.max_points = budget;
-  auto built = std::make_unique<analysis::BatchEngine>(sys, alg, dl_opts,
-                                                       fp_opts);
-  std::scoped_lock lock(mu_);
-  const auto [it, inserted] = engines_.emplace(key, std::move(built));
-  return *it->second;
+  auto built =
+      std::make_shared<const analysis::BatchEngine>(sys, alg, dl_opts,
+                                                    fp_opts);
+  std::scoped_lock lock(shard.mu);
+  const auto [it, inserted] = shard.engines.emplace(key, std::move(built));
+  if (inserted) {
+    shard.order.push_back(key);
+    // Oldest-first eviction keeps a long-lived session's engine memory
+    // bounded; in-flight ladders hold their own shared_ptr pins.
+    while (shard.order.size() > kEngineShardCapacity) {
+      shard.engines.erase(shard.order.front());
+      shard.order.pop_front();
+      engine_evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return it->second;
+}
+
+AnalysisService::EngineCacheStats AnalysisService::engine_cache_stats() const {
+  EngineCacheStats out;
+  out.evictions = engine_evictions_.load(std::memory_order_relaxed);
+  for (EngineShard& shard : engine_shards_) {
+    std::scoped_lock lock(shard.mu);
+    out.entries += shard.engines.size();
+  }
+  return out;
 }
 
 template <typename Result, typename Body>
@@ -214,11 +417,64 @@ Result AnalysisService::run_entry(std::size_t i, Body&& body) const {
   return out;
 }
 
+template <typename Result, typename Request, typename Body>
+Result AnalysisService::memoized(std::size_t i, const Request& req,
+                                 Body&& body) const {
+  const Entry& e = entries_.at(i);
+  MemoCache& memo = global_memo();
+  // The memo stays out of the way whenever replaying could change
+  // semantics: answer-less entries (error rows carry entry context),
+  // injection hooks (hardening tests count ladder rounds), and
+  // deadline-active requests (wall-clock-dependent, possibly degraded).
+  const bool use_memo = e.system.has_value() && memo.enabled() &&
+                        !probe_hook_ && !req.accuracy.deadline.active();
+  rt::Hash128 key{};
+  if (use_memo) {
+    rt::HashStream h;
+    h.u64(e.canon.hash.hi).u64(e.canon.hash.lo);
+    hash_request(h, e.canon, req);
+    key = h.digest();
+    const par::StopWatch clock;
+    if (std::optional<MemoValue> hit = memo.lookup(key)) {
+      if (Result* payload = std::get_if<Result>(&hit->payload)) {
+        Result out = std::move(*payload);
+        out.system = i;
+        out.name = e.name;
+        out.trial = e.trial;
+        // Same producer scale -- every identical repeat -- returns the
+        // stored answer verbatim (bit-identical to recomputation); a
+        // rescaled twin maps time-dimensioned fields by the scale ratio.
+        if (e.canon.scale != hit->scale) {
+          rescale_payload(out, e.canon.scale / hit->scale);
+        }
+        out.prov.cache_hit = true;
+        out.prov.wall_ms = clock.elapsed_ms();
+        return out;
+      }
+      // A different result type under this key would be a tag collision;
+      // treat it as a miss and recompute (never replay a wrong shape).
+    }
+  }
+  Result out = run_entry<Result>(i, std::forward<Body>(body));
+  if (use_memo && out.ok() && !out.prov.degraded) {
+    MemoValue v;
+    Result stored = out;
+    stored.system = 0;      // identity belongs to the asking entry
+    stored.name.clear();
+    stored.trial = kNoTrial;
+    stored.prov.wall_ms = 0.0;  // transport, not answer
+    v.scale = e.canon.scale;
+    v.payload = std::move(stored);
+    memo.insert(key, std::move(v));
+  }
+  return out;
+}
+
 SolveResult AnalysisService::solve_one(std::size_t i,
                                        const SolveRequest& req) const {
-  return run_entry<SolveResult>(i, [&](SolveResult& out) {
-    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
-      return engine(i, req.alg, budget);
+  return memoized<SolveResult>(i, req, [&](SolveResult& out) {
+    const auto engine_at = [&](std::size_t budget) {
+      return engine_ptr(i, req.alg, budget);
     };
     // The probed value is the designed schedule (nullopt: infeasible at
     // this budget); the ladder compares consecutive periods.
@@ -251,9 +507,9 @@ SolveResult AnalysisService::solve_one(std::size_t i,
 
 MinQuantumResult AnalysisService::min_quantum_one(
     std::size_t i, const MinQuantumRequest& req) const {
-  return run_entry<MinQuantumResult>(i, [&](MinQuantumResult& out) {
-    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
-      return engine(i, req.alg, budget);
+  return memoized<MinQuantumResult>(i, req, [&](MinQuantumResult& out) {
+    const auto engine_at = [&](std::size_t budget) {
+      return engine_ptr(i, req.alg, budget);
     };
     out.mode_quantum = run_ladder<std::array<double, 3>>(
         engine_at, req.accuracy, req.alg,
@@ -273,9 +529,9 @@ MinQuantumResult AnalysisService::min_quantum_one(
 
 RegionSweepResult AnalysisService::region_sweep_one(
     std::size_t i, const RegionSweepRequest& req) const {
-  return run_entry<RegionSweepResult>(i, [&](RegionSweepResult& out) {
-    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
-      return engine(i, req.alg, budget);
+  return memoized<RegionSweepResult>(i, req, [&](RegionSweepResult& out) {
+    const auto engine_at = [&](std::size_t budget) {
+      return engine_ptr(i, req.alg, budget);
     };
     out.samples = run_ladder<std::vector<core::RegionSample>>(
         engine_at, req.accuracy, req.alg,
@@ -297,9 +553,9 @@ RegionSweepResult AnalysisService::region_sweep_one(
 
 SensitivityResult AnalysisService::sensitivity_one(
     std::size_t i, const SensitivityRequest& req) const {
-  return run_entry<SensitivityResult>(i, [&](SensitivityResult& out) {
-    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
-      return engine(i, req.alg, budget);
+  return memoized<SensitivityResult>(i, req, [&](SensitivityResult& out) {
+    const auto engine_at = [&](std::size_t budget) {
+      return engine_ptr(i, req.alg, budget);
     };
     using Value = std::pair<std::vector<core::TaskMargin>, double>;
     const Value value = run_ladder<Value>(
@@ -346,7 +602,7 @@ SensitivityResult AnalysisService::sensitivity_one(
 
 VerifyResult AnalysisService::verify_one(std::size_t i,
                                          const VerifyRequest& req) const {
-  return run_entry<VerifyResult>(i, [&](VerifyResult& out) {
+  return memoized<VerifyResult>(i, req, [&](VerifyResult& out) {
     // Hand-rolled ladder: a condensed "schedulable" is already safe and
     // definitive, so adaptive accuracy only escalates a condensed "no".
     // Deadline handling mirrors run_ladder: checked last, between rungs.
@@ -357,7 +613,9 @@ VerifyResult AnalysisService::verify_one(std::size_t i,
     bool exact = false;
     for (std::size_t round = 1;; ++round) {
       notify(round);
-      const analysis::BatchEngine& eng = engine(i, req.alg, budget);
+      const std::shared_ptr<const analysis::BatchEngine> pinned =
+          engine_ptr(i, req.alg, budget);
+      const analysis::BatchEngine& eng = *pinned;
       out.schedulable = eng.verify(req.schedule, req.use_exact_supply);
       exact = record_probe(eng, round, budget, out.prov);
       if (out.schedulable || exact || !req.accuracy.is_adaptive ||
@@ -378,9 +636,9 @@ VerifyResult AnalysisService::verify_one(std::size_t i,
 
 FaultSweepResult AnalysisService::fault_sweep_one(
     std::size_t i, const FaultSweepRequest& req) const {
-  return run_entry<FaultSweepResult>(i, [&](FaultSweepResult& out) {
-    const auto engine_at = [&](std::size_t budget) -> const analysis::BatchEngine& {
-      return engine(i, req.alg, budget);
+  return memoized<FaultSweepResult>(i, req, [&](FaultSweepResult& out) {
+    const auto engine_at = [&](std::size_t budget) {
+      return engine_ptr(i, req.alg, budget);
     };
     // Phase 1: the nominal design, exactly solve_one's ladder (the request's
     // accuracy/deadline policy governs this phase; the per-rate checks below

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -20,6 +23,7 @@
 #include "fault/fault_model.hpp"
 #include "hier/sched_test.hpp"
 #include "part/bin_packing.hpp"
+#include "rt/canonical.hpp"
 #include "rt/deadline_bound.hpp"
 
 namespace flexrt::svc {
@@ -162,6 +166,16 @@ struct Provenance {
   /// what happened) rather than a transient failure, and the rest of the
   /// fleet ran on. Never set when retrying is disabled (max_attempts 1).
   bool quarantined = false;
+  /// True when this answer came from the process-wide content-addressed
+  /// memo (svc::MemoCache) instead of running the accuracy ladder: some
+  /// canonically identical system was already solved with this request
+  /// anywhere in the process. Rendered only when true, and only next to
+  /// wall_ms: like wall_ms it describes this run's transport, not the
+  /// answer, and every wall-free byte-identity contract (streamed ==
+  /// buffered, journal resume, wire == offline, warm repeat == cold run)
+  /// requires rows to read the same whether the answer was computed or
+  /// replayed.
+  bool cache_hit = false;
   /// Wall time of this entry's request, milliseconds.
   double wall_ms = 0.0;
 };
@@ -452,9 +466,32 @@ class AnalysisService {
   /// (max_admissible_overhead, one-task margins, ...). `max_points` 0
   /// means the scheduler's library default budget (dlSet budget for EDF,
   /// per-task scheduling-point budget for FP). Engines are immutable and
-  /// safe to probe concurrently.
+  /// safe to probe concurrently. The reference stays valid while the
+  /// engine is resident in the bounded cache -- callers that probe across
+  /// many budgets on a shared service should pin via engine_ptr instead.
   const analysis::BatchEngine& engine(std::size_t i, hier::Scheduler alg,
-                                      std::size_t max_points = 0) const;
+                                      std::size_t max_points = 0) const {
+    return *engine_ptr(i, alg, max_points);
+  }
+
+  /// Shared-ownership variant: the engine outlives any cache eviction as
+  /// long as the returned pointer does (what the accuracy ladders hold
+  /// across a probe).
+  std::shared_ptr<const analysis::BatchEngine> engine_ptr(
+      std::size_t i, hier::Scheduler alg, std::size_t max_points = 0) const;
+
+  /// Canonical form of an entry's system (empty hash for answer-less
+  /// entries): the system half of the memo key, computed once at add time.
+  const rt::CanonicalSystem& canonical(std::size_t i) const {
+    return entries_.at(i).canon;
+  }
+
+  /// Occupancy and eviction counters of the bounded engine cache.
+  struct EngineCacheStats {
+    std::size_t entries = 0;
+    std::uint64_t evictions = 0;
+  };
+  EngineCacheStats engine_cache_stats() const;
 
  private:
   struct Entry {
@@ -462,13 +499,43 @@ class AnalysisService {
     std::size_t trial = kNoTrial;
     std::optional<core::ModeTaskSystem> system;
     std::string error;  ///< why `system` is absent
+    rt::CanonicalSystem canon{};  ///< hash/scale of `system` (if present)
   };
 
   /// (entry, scheduler, dlSet budget) -> engine.
   using EngineKey = std::tuple<std::size_t, int, std::size_t>;
 
+  /// One stripe of the engine cache: fleet workers used to serialize on a
+  /// single service-wide mutex at every entry start; striping by key
+  /// spreads them across kEngineShards independent locks. Each shard is
+  /// bounded (kEngineShardCapacity resident engines, oldest evicted
+  /// first) so a long-lived daemon session cannot grow engine memory
+  /// without bound; shared_ptr ownership keeps an engine alive for any
+  /// ladder that pinned it before eviction.
+  struct EngineShard {
+    std::mutex mu;
+    std::map<EngineKey, std::shared_ptr<const analysis::BatchEngine>> engines;
+    std::deque<EngineKey> order;  ///< insertion order; front evicts first
+  };
+  static constexpr std::size_t kEngineShards = 16;
+  static constexpr std::size_t kEngineShardCapacity = 512;
+
+  EngineShard& engine_shard(const EngineKey& key) const noexcept {
+    const auto [entry, alg, budget] = key;
+    return engine_shards_[(entry + 31 * budget +
+                           977 * static_cast<std::size_t>(alg)) %
+                          kEngineShards];
+  }
+
   template <typename Result, typename Body>
   Result run_entry(std::size_t i, Body&& body) const;
+
+  /// Memo-aware wrapper of run_entry: consult the process-wide answer
+  /// cache under the canonical (system, request) key, fall back to `body`
+  /// on a miss, and publish cacheable answers. Defined in the .cpp (all
+  /// instantiations live there).
+  template <typename Result, typename Request, typename Body>
+  Result memoized(std::size_t i, const Request& req, Body&& body) const;
 
   /// The per-entry notify callback handed to the accuracy ladder: forwards
   /// each round start to the injection hook when one is set.
@@ -486,15 +553,15 @@ class AnalysisService {
 
   std::vector<Entry> entries_;
   ProbeHook probe_hook_;
-  mutable std::mutex mu_;
-  mutable std::map<EngineKey, std::unique_ptr<analysis::BatchEngine>> engines_;
+  mutable std::array<EngineShard, kEngineShards> engine_shards_;
+  mutable std::atomic<std::uint64_t> engine_evictions_{0};
 };
 
 /// One-entry service around a single system: the helper behind the core::
 /// one-shot wrapper functions (integration/sensitivity/solve_design). The
-/// service is non-movable -- it owns a mutex-guarded engine cache -- hence
-/// this two-phase-construction wrapper instead of a factory returning by
-/// value.
+/// service is non-movable -- it owns a sharded, mutex-striped engine
+/// cache -- hence this two-phase-construction wrapper instead of a
+/// factory returning by value.
 struct OneShotService {
   explicit OneShotService(const core::ModeTaskSystem& sys) {
     service.add_system(sys);

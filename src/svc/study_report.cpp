@@ -24,7 +24,14 @@ void provenance_fields(JsonRow& row, const Provenance& p, bool with_wall) {
   // rows from non-journaled runs keep their exact pre-journal bytes.
   if (p.attempts > 1) row.field("attempts", p.attempts);
   if (p.quarantined) row.field("quarantined", true);
-  if (with_wall) row.field("wall_ms", p.wall_ms);
+  // Transport provenance: like wall_ms, cache_hit describes this run, not
+  // the answer, so it renders only in wall-ful rows -- wall-free rows
+  // (stream/journal/wire/warm-repeat byte-identity contracts) must read
+  // the same whether the answer was computed or replayed from the memo.
+  if (with_wall) {
+    if (p.cache_hit) row.field("cache_hit", true);
+    row.field("wall_ms", p.wall_ms);
+  }
 }
 
 std::string study_trial_row(const SolveResult& r, hier::Scheduler alg,

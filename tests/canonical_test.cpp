@@ -1,0 +1,216 @@
+// Property tests for the canonical system form behind the answer memo
+// (rt/canonical): permutation invariance in the exact order the FP
+// analysis is indifferent to, time-scale invariance with the retained
+// scale factor, sound order-sensitivity for FP deadline ties, raw-bits
+// fallback for off-grid systems, and collision freedom over a generated
+// 10^4-system corpus (collisions would hand one system another system's
+// cached answer, so this is a correctness bank, not a quality metric).
+#include "rt/canonical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/mode_system.hpp"
+#include "core/paper_example.hpp"
+#include "gen/taskset_gen.hpp"
+#include "rt/task.hpp"
+#include "rt/task_set.hpp"
+
+namespace flexrt::rt {
+namespace {
+
+CanonicalSystem canon_of_channel(const std::vector<TaskSet>& channels) {
+  CanonicalBuilder b;
+  b.add_group(0, channels);
+  return b.finish();
+}
+
+CanonicalSystem canon_of_system(const core::ModeTaskSystem& sys) {
+  CanonicalBuilder b;
+  for (const Mode mode : core::kAllModes) {
+    b.add_group(static_cast<std::uint64_t>(mode), sys.partitions(mode));
+  }
+  return b.finish();
+}
+
+TaskSet scaled(const TaskSet& ts, double k) {
+  std::vector<Task> tasks;
+  for (const Task& t : ts) {
+    tasks.push_back(make_task(t.name, t.wcet * k, t.period * k,
+                              t.deadline * k, t.mode));
+  }
+  return TaskSet(std::move(tasks));
+}
+
+TEST(Canonical, DigestIsNeverTheUnassignedSentinel) {
+  EXPECT_TRUE(Hash128{}.empty());
+  EXPECT_FALSE(HashStream{}.digest().empty());
+  HashStream h;
+  h.u64(0);
+  EXPECT_FALSE(h.digest().empty());
+}
+
+TEST(Canonical, LengthPrefixedStringsDoNotAlias) {
+  HashStream a, b;
+  a.str("ab").str("c");
+  b.str("a").str("bc");
+  EXPECT_FALSE(a.digest() == b.digest());
+}
+
+TEST(Canonical, PermutationInvariantForDistinctDeadlines) {
+  std::vector<Task> tasks = {
+      make_task("a", 1.0, 10.0, 7.0, Mode::NF),
+      make_task("b", 2.0, 20.0, 15.0, Mode::NF),
+      make_task("c", 1.0, 30.0, 24.0, Mode::NF),
+      make_task("d", 3.0, 40.0, 33.0, Mode::NF),
+  };
+  const CanonicalSystem ref = canon_of_channel({TaskSet(tasks)});
+  std::vector<std::size_t> order = {0, 1, 2, 3};
+  do {
+    std::vector<Task> perm;
+    for (const std::size_t i : order) perm.push_back(tasks[i]);
+    const CanonicalSystem got = canon_of_channel({TaskSet(perm)});
+    EXPECT_EQ(ref.hash, got.hash);
+    EXPECT_EQ(ref.scale, got.scale);
+    EXPECT_EQ(ref.grid_gcd, got.grid_gcd);
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+// FP priorities come from a *stable* sort by deadline (rt::priority), so
+// the input order of equal-deadline tasks is part of the system's meaning:
+// swapping them may change the FP answer, and the canonical form must not
+// identify the two systems.
+TEST(Canonical, EqualDeadlineReorderChangesTheHash) {
+  const Task x = make_task("x", 1.0, 10.0, 8.0, Mode::NF);
+  const Task y = make_task("y", 2.0, 12.0, 8.0, Mode::NF);
+  const CanonicalSystem xy = canon_of_channel({TaskSet({x, y})});
+  const CanonicalSystem yx = canon_of_channel({TaskSet({y, x})});
+  EXPECT_FALSE(xy.hash == yx.hash);
+}
+
+TEST(Canonical, ChannelOrderWithinAModeIsImmaterial) {
+  const TaskSet c1({make_task("a", 1.0, 10.0, Mode::NF)});
+  const TaskSet c2({make_task("b", 2.0, 20.0, Mode::NF)});
+  const CanonicalSystem fwd = canon_of_channel({c1, c2});
+  const CanonicalSystem rev = canon_of_channel({c2, c1});
+  EXPECT_EQ(fwd.hash, rev.hash);
+}
+
+TEST(Canonical, TimeScaleInvariance) {
+  const TaskSet base({
+      make_task("a", 1.0, 6.0, 5.0, Mode::NF),
+      make_task("b", 2.0, 12.0, 9.0, Mode::NF),
+  });
+  const CanonicalSystem ref = canon_of_channel({base});
+  ASSERT_TRUE(ref.normalized());
+  for (const double k : {2.0, 5.0, 1000.0, 0.001}) {
+    const CanonicalSystem got = canon_of_channel({scaled(base, k)});
+    EXPECT_EQ(ref.hash, got.hash) << "scale " << k;
+    EXPECT_TRUE(got.normalized());
+    EXPECT_NEAR(got.scale / ref.scale, k, 1e-9 * k) << "scale " << k;
+  }
+}
+
+TEST(Canonical, RequestTimesHashScaleInvariantly) {
+  const TaskSet base({make_task("a", 1.0, 6.0, 5.0, Mode::NF)});
+  const CanonicalSystem c1 = canon_of_channel({base});
+  const CanonicalSystem c2 = canon_of_channel({scaled(base, 2.0)});
+  ASSERT_EQ(c1.hash, c2.hash);
+  HashStream h1, h2;
+  c1.time(h1, 2.0);
+  c2.time(h2, 4.0);  // the same request in the x2 system's native units
+  EXPECT_EQ(h1.digest(), h2.digest());
+  HashStream r1, r2;
+  c1.inverse_time(r1, 0.5);  // a rate: 1 event per 2 native units
+  c2.inverse_time(r2, 0.25);
+  EXPECT_EQ(r1.digest(), r2.digest());
+}
+
+TEST(Canonical, DifferentRequestTimesHashDifferently) {
+  const TaskSet base({make_task("a", 1.0, 6.0, 5.0, Mode::NF)});
+  const CanonicalSystem c = canon_of_channel({base});
+  HashStream h1, h2;
+  c.time(h1, 2.0);
+  c.time(h2, 3.0);
+  EXPECT_FALSE(h1.digest() == h2.digest());
+}
+
+TEST(Canonical, LargeTimesAlwaysSnapWithinTheRelativeTolerance) {
+  // The snap tolerance is *relative* (1e-9, matching the library's ratio
+  // snapping): at magnitudes >= ~0.5 time units every double is within
+  // tolerance of a nanosecond grid point, so such systems always
+  // normalize -- quantization there is below the library's own
+  // identification threshold.
+  const TaskSet big({make_task("a", 1.4142135623730951, 10.0, Mode::NF)});
+  EXPECT_TRUE(canon_of_channel({big}).normalized());
+}
+
+TEST(Canonical, OffGridSystemFallsBackToRawBits) {
+  // Small times can genuinely miss the grid: at 1.41...e-3 the relative
+  // tolerance is ~1.4e-3 grid units while the value sits ~0.56 grid units
+  // from the nearest point.
+  const double irrational = 1.4142135623730951e-3;
+  const TaskSet odd({make_task("a", irrational, 10.0, Mode::NF)});
+  const CanonicalSystem a = canon_of_channel({odd});
+  EXPECT_FALSE(a.normalized());
+  EXPECT_EQ(a.scale, 1.0);
+  // Deterministic: the same system hashes the same ...
+  const CanonicalSystem b = canon_of_channel({odd});
+  EXPECT_EQ(a.hash, b.hash);
+  // ... but a scaled twin is (safely) a different key: raw-bits form is
+  // not scale-invariant, and must not pretend to be.
+  const CanonicalSystem c = canon_of_channel({scaled(odd, 2.0)});
+  EXPECT_FALSE(a.hash == c.hash);
+}
+
+TEST(Canonical, NegativeZeroTimeHashesLikePositiveZero) {
+  HashStream a, b;
+  a.f64(0.0);
+  b.f64(-0.0);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Canonical, PaperExampleIsStableAcrossRebuilds) {
+  const CanonicalSystem a = canon_of_system(core::paper_example());
+  const CanonicalSystem b = canon_of_system(core::paper_example());
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_FALSE(a.hash.empty());
+}
+
+// 10^4 generated task sets: distinct content must give distinct hashes.
+// Inputs are deduped by exact serialization first, so the assertion is
+// about the hash, not about the generator's entropy.
+TEST(Canonical, NoCollisionOnGeneratedCorpus) {
+  std::set<std::string> seen_content;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen_hash;
+  std::size_t corpus = 0;
+  for (std::uint64_t seed = 0; corpus < 10000; ++seed) {
+    Rng rng(seed);
+    gen::GenParams gp;
+    gp.num_tasks = 3 + static_cast<std::size_t>(seed % 8);
+    gp.total_utilization = 0.4 + 0.05 * static_cast<double>(seed % 10);
+    const TaskSet ts = gen::generate_task_set(gp, rng);
+    std::ostringstream key;
+    for (const Task& t : ts) {
+      key << t.name << ',' << std::hexfloat << t.wcet << ',' << t.period
+          << ',' << t.deadline << ',' << static_cast<int>(t.mode) << ';';
+    }
+    if (!seen_content.insert(key.str()).second) continue;
+    ++corpus;
+    const CanonicalSystem c = canon_of_channel({ts});
+    EXPECT_TRUE(
+        seen_hash.emplace(c.hash.hi, c.hash.lo).second)
+        << "hash collision at seed " << seed;
+  }
+  EXPECT_EQ(seen_hash.size(), corpus);
+}
+
+}  // namespace
+}  // namespace flexrt::rt

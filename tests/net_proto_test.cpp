@@ -19,6 +19,7 @@
 #include "net/proto.hpp"
 #include "svc/analysis_service.hpp"
 #include "svc/jsonl.hpp"
+#include "svc/memo_cache.hpp"
 #include "svc/rows.hpp"
 #include "svc/study_report.hpp"
 
@@ -324,6 +325,49 @@ TEST(NetProto, StatusAndDropManageTheFleet) {
   EXPECT_EQ(regen.rc, 0);
   EXPECT_NE(data_rows(regen.bytes).find("\"generated\":true"),
             std::string::npos);
+}
+
+TEST(NetProto, StatusMemoRendersTheCacheCounters) {
+  // Plain status stays byte-stable (no memo fields: the counters are
+  // process-wide and would differ between otherwise identical sessions);
+  // status --memo opts into the six memo_* fields.
+  const SessionOutput plain = run_script("status\nquit\n");
+  EXPECT_EQ(plain.rc, 0);
+  EXPECT_EQ(data_rows(plain.bytes).find("memo_"), std::string::npos);
+
+  const SessionOutput memo = run_script("status --memo\nquit\n");
+  EXPECT_EQ(memo.rc, 0);
+  const std::string rows = data_rows(memo.bytes);
+  for (const char* field :
+       {"\"memo_enabled\":", "\"memo_hits\":", "\"memo_misses\":",
+        "\"memo_evictions\":", "\"memo_entries\":", "\"memo_bytes\":"}) {
+    EXPECT_NE(rows.find(field), std::string::npos) << field;
+  }
+}
+
+TEST(NetProto, StatusMemoCountsASolveAndItsRepeat) {
+  svc::global_memo().set_enabled(true);
+  svc::global_memo().clear();
+  // Two identical solves in one session: the second is a memo hit, and
+  // status --memo shows at least one hit and one insertion's worth of
+  // bytes. (Counters are >=, not ==: the memo is process-wide.)
+  const SessionOutput got = run_script(add_block("s") +
+                                       "solve\nsolve\nstatus --memo\nquit\n");
+  EXPECT_EQ(got.rc, 0);
+  const std::string rows = data_rows(got.bytes);
+  EXPECT_NE(rows.find("\"memo_enabled\":true"), std::string::npos);
+  EXPECT_EQ(rows.find("\"memo_hits\":0,"), std::string::npos)
+      << "the repeated solve must have hit";
+  EXPECT_EQ(rows.find("\"memo_bytes\":0}"), std::string::npos);
+  svc::global_memo().clear();
+}
+
+TEST(NetProto, StatusRejectsUnknownFlags) {
+  const SessionOutput got = run_script("status --bogus\nquit\n");
+  const std::vector<WireStatus> st = statuses(got.bytes);
+  ASSERT_GE(st.size(), 1u);
+  EXPECT_TRUE(st[0].failed);
+  EXPECT_NE(st[0].message.find("status"), std::string::npos);
 }
 
 // --- hostile input --------------------------------------------------------

@@ -34,6 +34,8 @@
 #include "svc/analysis_service.hpp"
 #include "svc/journal.hpp"
 #include "svc/jsonl.hpp"
+#include "svc/memo_cache.hpp"
+#include "svc/rows.hpp"
 
 #include <unistd.h>
 
@@ -72,6 +74,11 @@ struct Row {
 
 int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_micro.json";
+
+  // Every row below except memo_hit measures compute, not lookups; the
+  // process-wide answer memo would turn their repeat runs into cache hits
+  // and time the wrong thing. The memo_hit block re-enables it.
+  svc::global_memo().set_enabled(false);
 
   const core::ModeTaskSystem& sys = core::paper_example();
   const core::ModeSchedule schedule =
@@ -410,6 +417,51 @@ int main(int argc, char** argv) {
     fs::remove_file(task_path);
   }
 
+  // --- content-addressed answer memo: cold fleet vs a warm repeat --------
+  // Cold = first full 256-entry run (analyses execute and their answers are
+  // stored under the canonical content hash). Warm = the identical request
+  // repeated: every entry resolves by memo lookup instead of an adaptive
+  // ladder. The wall-free JSONL renderings of both runs must be
+  // byte-identical (cache_hit only ever renders next to wall_ms), which is
+  // what bytes_identical certifies.
+  std::size_t memo_entries = 0;
+  double memo_cold_ms = 0.0, memo_warm_ms = 0.0;
+  std::size_t memo_hits = 0;
+  bool memo_bytes_identical = false;
+  {
+    svc::global_memo().set_enabled(true);
+    svc::global_memo().clear();
+    svc::AnalysisService service;
+    core::StudyOptions study;
+    study.trials = 256;
+    service.add_fleet(study,
+                      [](std::size_t, Rng& rng) { return gen::study_system(rng); });
+    memo_entries = service.size();
+    // An adaptive ladder is the realistic cold cost (several budget
+    // rungs per entry); the warm lookup is the same either way.
+    const svc::MinQuantumRequest req{hier::Scheduler::EDF, 1.0, false,
+                                     svc::AccuracyPolicy::adaptive(1e-6)};
+    const auto render = [&](const std::vector<svc::MinQuantumResult>& rs) {
+      std::string text;
+      for (const svc::MinQuantumResult& r : rs) {
+        text += svc::min_quantum_row(r, req.alg, req.period, false).str();
+        text += '\n';
+      }
+      return text;
+    };
+    const auto t0 = Clock::now();
+    const auto cold = service.min_quantum(req);
+    const auto t1 = Clock::now();
+    const auto warm = service.min_quantum(req);
+    const auto t2 = Clock::now();
+    memo_cold_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    memo_warm_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    memo_hits = static_cast<std::size_t>(svc::global_memo().stats().hits);
+    memo_bytes_identical = render(cold) == render(warm);
+    svc::global_memo().set_enabled(false);
+    svc::global_memo().clear();
+  }
+
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -432,6 +484,13 @@ int main(int argc, char** argv) {
                "\"warm_request_ms\": %.2f, \"speedup\": %.2f},\n",
                cold_runs, cold_ms, warm_runs, warm_ms,
                warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+  std::fprintf(out,
+               "  \"memo_hit\": {\"entries\": %zu, \"cold_ms\": %.2f, "
+               "\"warm_ms\": %.2f, \"speedup\": %.2f, \"hits\": %zu, "
+               "\"bytes_identical\": %s},\n",
+               memo_entries, memo_cold_ms, memo_warm_ms,
+               memo_warm_ms > 0.0 ? memo_cold_ms / memo_warm_ms : 0.0,
+               memo_hits, memo_bytes_identical ? "true" : "false");
   std::fprintf(out, "  \"threads\": %zu,\n  \"kernels\": [\n",
                par::thread_count());
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -464,6 +523,12 @@ int main(int argc, char** argv) {
       "warm %8.2f ms/solve (resident, %zu runs)   %6.1fx\n",
       cold_ms, cold_runs, warm_ms, warm_runs,
       warm_ms > 0.0 ? cold_ms / warm_ms : 0.0);
+  std::printf(
+      "memo_hit                     %zu entries: cold %8.1f ms   warm "
+      "%8.2f ms   %6.1fx   (%zu hits, wall-free rows %s)\n",
+      memo_entries, memo_cold_ms, memo_warm_ms,
+      memo_warm_ms > 0.0 ? memo_cold_ms / memo_warm_ms : 0.0, memo_hits,
+      memo_bytes_identical ? "byte-identical" : "DIFFER");
   std::printf("report written to %s\n", out_path.c_str());
   return 0;
 }

@@ -102,6 +102,7 @@
 #include "svc/analysis_service.hpp"
 #include "svc/journal.hpp"
 #include "svc/jsonl.hpp"
+#include "svc/memo_cache.hpp"
 #include "svc/rows.hpp"
 #include "svc/study_report.hpp"
 
@@ -151,6 +152,10 @@ void usage_text(std::ostream& os) {
          "        degrade to the last finished rung when it expires)\n"
          "        --no-wall      omit wall_ms from JSONL rows (deterministic,\n"
          "        byte-comparable reports)\n"
+         "        --no-memo      disable the process-wide answer memo (every\n"
+         "        entry recomputes; repeats stop being lookups)\n"
+         "        --memo-bytes N cap the answer memo at N bytes (default\n"
+         "        256 MiB; least-recently-used entries evict)\n"
          "journal (study, sweep, fault-sweep; implies --jsonl):\n"
          "        --output FILE  crash-safe journaled run: rows append to\n"
          "                       FILE.partial, FILE appears by atomic rename\n"
@@ -1102,9 +1107,29 @@ int cmd_remote(const std::vector<std::string>& rest) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  std::vector<std::string> rest(argv + 2, argv + argc);
   try {
+    // Process-level memo knobs, accepted at any argv position: they
+    // configure the process-wide content-addressed answer cache
+    // (svc::MemoCache), not one request, so they are stripped before
+    // subcommand dispatch instead of living in CommonOpts.
+    std::vector<std::string> all;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--no-memo") {
+        svc::global_memo().set_enabled(false);
+        continue;
+      }
+      if (a == "--memo-bytes") {
+        if (i + 1 >= argc) return usage();
+        svc::global_memo().set_capacity_bytes(
+            parse_size("--memo-bytes", argv[++i]));
+        continue;
+      }
+      all.push_back(a);
+    }
+    if (all.empty()) return usage();
+    const std::string cmd = all[0];
+    std::vector<std::string> rest(all.begin() + 1, all.end());
     if (cmd == "solve") return cmd_solve(rest);
     if (cmd == "sweep") return cmd_sweep(rest);
     if (cmd == "verify") return cmd_verify(rest);
@@ -1116,7 +1141,6 @@ int main(int argc, char** argv) {
     // Legacy form: flexrt_design [flags...] <taskfile> [flags...] == solve
     // (the pre-subcommand CLI accepted the file at any position, so flags
     // before the file must keep working too).
-    std::vector<std::string> all(argv + 1, argv + argc);
     return cmd_solve(all);
   } catch (const InfeasibleError& e) {
     std::cerr << "infeasible: " << e.what() << "\n";

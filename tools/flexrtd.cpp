@@ -9,13 +9,19 @@
 // bench row quantifies the difference).
 //
 // Usage:
-//   flexrtd --socket PATH | --port N [--threads N]
+//   flexrtd --socket PATH | --port N [--threads N] [--no-memo]
+//           [--memo-bytes N]
 //
 //   --socket PATH   listen on a unix-domain socket at PATH
 //   --port N        listen on TCP 127.0.0.1:N (0 = kernel-assigned; the
 //                   chosen port is printed on the listening line)
 //   --threads N     analysis pool width (sets FLEXRT_THREADS before the
 //                   pool spins up)
+//   --no-memo       disable the process-wide answer memo (svc::MemoCache);
+//                   every request recomputes
+//   --memo-bytes N  cap the answer memo at N bytes (default 256 MiB);
+//                   sessions share the cache, so a fleet solved by one
+//                   client is a lookup for every later client
 //
 // On start the daemon prints exactly one line to stdout --
 //   flexrtd: listening on unix:PATH   or   flexrtd: listening on tcp:PORT
@@ -37,7 +43,9 @@
 
 #include "common/error.hpp"
 #include "common/signals.hpp"
+#include "net/proto.hpp"
 #include "net/server.hpp"
+#include "svc/memo_cache.hpp"
 
 using namespace flexrt;
 
@@ -45,9 +53,12 @@ namespace {
 
 void usage_text(std::ostream& os) {
   os << "usage: flexrtd --socket PATH | --port N [--threads N]\n"
+        "               [--no-memo] [--memo-bytes N]\n"
         "  --socket PATH  listen on a unix-domain socket\n"
         "  --port N       listen on TCP 127.0.0.1:N (0 = ephemeral)\n"
         "  --threads N    analysis pool width (FLEXRT_THREADS)\n"
+        "  --no-memo      disable the process-wide answer memo\n"
+        "  --memo-bytes N cap the answer memo at N bytes (default 256 MiB)\n"
         "serves the flexrt_design wire protocol (see tools/README.md);\n"
         "SIGINT/SIGTERM drain in-flight commands and exit 0\n";
 }
@@ -98,6 +109,21 @@ int main(int argc, char** argv) {
       char* end = nullptr;
       threads = v ? std::strtol(v, &end, 10) : 0;
       if (!v || !*v || *end || threads <= 0) {
+        usage_text(std::cerr);
+        return 2;
+      }
+    } else if (a == "--no-memo") {
+      svc::global_memo().set_enabled(false);
+    } else if (a == "--memo-bytes") {
+      const char* v = next();
+      if (!v || !*v) {
+        usage_text(std::cerr);
+        return 2;
+      }
+      try {
+        svc::global_memo().set_capacity_bytes(
+            net::proto::parse_size("--memo-bytes", v));
+      } catch (const Error&) {
         usage_text(std::cerr);
         return 2;
       }
