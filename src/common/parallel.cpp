@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hpp"
 
 namespace flexrt::par {
 namespace {
@@ -31,6 +31,14 @@ std::size_t resolve_thread_count() noexcept {
 /// submitted loop. One loop runs at a time (submissions serialize on
 /// submit_mutex_); the caller thread participates in the loop, so the pool
 /// only needs thread_count() - 1 workers.
+///
+/// Lock contract: submit_mutex_ is the loop-at-a-time capability -- held by
+/// the submitting thread for the whole run(), it guards nothing finer than
+/// the right to stage a new loop. All per-loop state that workers read
+/// (generation_, n_, chunk_, fn_, error_) is GUARDED_BY(wake_mutex_):
+/// run() stages it in the same critical section that bumps generation_,
+/// and each worker snapshots it once under wake_mutex_ on wake-up, so the
+/// hot chunk loop touches only the atomic cursor.
 class Pool {
  public:
   static Pool& instance() {
@@ -42,15 +50,15 @@ class Pool {
 
   void run(std::size_t n,
            const std::function<void(std::size_t, std::size_t)>& fn) {
-    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
-    cursor_.store(0, std::memory_order_relaxed);
-    n_ = n;
-    chunk_ = std::max<std::size_t>(1, n / (8 * (workers_.size() + 1)));
-    fn_ = &fn;
-    error_ = nullptr;
-    pending_.store(workers_.size(), std::memory_order_release);
+    sys::MutexLock submit_lock(submit_mutex_);
     {
-      std::lock_guard<std::mutex> lock(wake_mutex_);
+      sys::MutexLock lock(wake_mutex_);
+      cursor_.store(0, std::memory_order_relaxed);
+      n_ = n;
+      chunk_ = std::max<std::size_t>(1, n / (8 * (workers_.size() + 1)));
+      fn_ = &fn;
+      error_ = nullptr;
+      pending_.store(workers_.size(), std::memory_order_release);
       ++generation_;
     }
     wake_cv_.notify_all();
@@ -63,11 +71,16 @@ class Pool {
     work();
     t_inside_pool = was_inside;
 
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    done_cv_.wait(lock,
-                  [this] { return pending_.load(std::memory_order_acquire) == 0; });
-    fn_ = nullptr;
-    if (error_) std::rethrow_exception(error_);
+    std::exception_ptr error;
+    {
+      sys::MutexLock lock(wake_mutex_);
+      while (pending_.load(std::memory_order_acquire) != 0) {
+        done_cv_.wait(wake_mutex_);
+      }
+      fn_ = nullptr;
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -83,44 +96,58 @@ class Pool {
     std::uint64_t seen = 0;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(wake_mutex_);
-        wake_cv_.wait(lock, [&] { return generation_ != seen; });
+        sys::MutexLock lock(wake_mutex_);
+        while (generation_ == seen) wake_cv_.wait(wake_mutex_);
         seen = generation_;
       }
       work();
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(wake_mutex_);
+        sys::MutexLock lock(wake_mutex_);
         done_cv_.notify_all();
       }
     }
   }
 
   void work() {
+    // Snapshot the staged loop once; the chunk loop itself runs lock-free
+    // on the atomic cursor.
+    std::size_t n, chunk;
+    const std::function<void(std::size_t, std::size_t)>* fn;
+    {
+      sys::MutexLock lock(wake_mutex_);
+      n = n_;
+      chunk = chunk_;
+      fn = fn_;
+    }
+    if (fn == nullptr) return;
     for (;;) {
       const std::size_t begin =
-          cursor_.fetch_add(chunk_, std::memory_order_relaxed);
-      if (begin >= n_) return;
-      const std::size_t end = std::min(n_, begin + chunk_);
+          cursor_.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(n, begin + chunk);
       try {
-        (*fn_)(begin, end);
+        (*fn)(begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(wake_mutex_);
+        sys::MutexLock lock(wake_mutex_);
         if (!error_) error_ = std::current_exception();
       }
     }
   }
 
-  std::mutex submit_mutex_;
-  std::mutex wake_mutex_;
-  std::condition_variable wake_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t generation_ = 0;
+  /// Serializes loop submissions; held across the whole of run().
+  sys::Mutex submit_mutex_ ACQUIRED_BEFORE(wake_mutex_);
+  /// Guards the staged-loop state below and the wake/done handshakes.
+  sys::Mutex wake_mutex_;
+  sys::CondVar wake_cv_;
+  sys::CondVar done_cv_;
+  std::uint64_t generation_ GUARDED_BY(wake_mutex_) = 0;
   std::atomic<std::size_t> cursor_{0};
   std::atomic<std::size_t> pending_{0};
-  std::size_t n_ = 0;
-  std::size_t chunk_ = 1;
-  const std::function<void(std::size_t, std::size_t)>* fn_ = nullptr;
-  std::exception_ptr error_;
+  std::size_t n_ GUARDED_BY(wake_mutex_) = 0;
+  std::size_t chunk_ GUARDED_BY(wake_mutex_) = 1;
+  const std::function<void(std::size_t, std::size_t)>* fn_
+      GUARDED_BY(wake_mutex_) = nullptr;
+  std::exception_ptr error_ GUARDED_BY(wake_mutex_);
   std::vector<std::thread> workers_;
 };
 

@@ -3,15 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <type_traits>
 #include <utility>
+
+#include "common/annotations.hpp"
 
 namespace flexrt::par {
 
@@ -104,18 +104,25 @@ std::size_t ordered_stream(std::size_t n, std::size_t window, Make&& make,
     std::optional<Value> value;
     std::exception_ptr error;
   };
-  std::mutex mu;
-  std::condition_variable gate;
-  std::map<std::size_t, Slot> pending;
-  std::size_t next_emit = 0;
-  std::size_t high_water = 0;
+  // The reassembly state lives in one struct so every member carries an
+  // explicit GUARDED_BY contract on the stream mutex -- the thread-safety
+  // analysis then proves no worker touches the buffer or the emission
+  // cursor outside the critical sections below.
+  struct State {
+    sys::Mutex mu;
+    sys::CondVar gate;
+    std::map<std::size_t, Slot> pending GUARDED_BY(mu);
+    std::size_t next_emit GUARDED_BY(mu) = 0;
+    std::size_t high_water GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error GUARDED_BY(mu);
+  };
+  State st;
   std::atomic<std::size_t> ticket{0};
-  std::exception_ptr first_error;
   parallel_for(n, [&](std::size_t) {
     const std::size_t i = ticket.fetch_add(1, std::memory_order_relaxed);
     {
-      std::unique_lock<std::mutex> lock(mu);
-      gate.wait(lock, [&] { return i < next_emit + window; });
+      sys::MutexLock lock(st.mu);
+      while (i >= st.next_emit + window) st.gate.wait(st.mu);
     }
     Slot slot;
     try {
@@ -125,26 +132,29 @@ std::size_t ordered_stream(std::size_t n, std::size_t window, Make&& make,
       // stream head and deadlock the gated workers behind it.
       slot.error = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(mu);
-    pending.emplace(i, std::move(slot));
-    high_water = std::max(high_water, pending.size());
-    while (!pending.empty() && pending.begin()->first == next_emit) {
-      auto node = pending.extract(pending.begin());
-      ++next_emit;
+    sys::MutexLock lock(st.mu);
+    st.pending.emplace(i, std::move(slot));
+    st.high_water = std::max(st.high_water, st.pending.size());
+    while (!st.pending.empty() && st.pending.begin()->first == st.next_emit) {
+      auto node = st.pending.extract(st.pending.begin());
+      ++st.next_emit;
       if (node.mapped().error) {
-        if (!first_error) first_error = node.mapped().error;
-      } else if (!first_error) {
+        if (!st.first_error) st.first_error = node.mapped().error;
+      } else if (!st.first_error) {
         try {
-          emit(next_emit - 1, std::move(*node.mapped().value));
+          emit(st.next_emit - 1, std::move(*node.mapped().value));
         } catch (...) {
-          first_error = std::current_exception();
+          st.first_error = std::current_exception();
         }
       }
     }
-    gate.notify_all();
+    st.gate.notify_all();
   });
-  if (first_error) std::rethrow_exception(first_error);
-  return high_water;
+  // parallel_for has drained every worker: this thread is the only one
+  // left, but the contract is on the members, so read them under the lock.
+  sys::MutexLock lock(st.mu);
+  if (st.first_error) std::rethrow_exception(st.first_error);
+  return st.high_water;
 }
 
 }  // namespace flexrt::par

@@ -9,8 +9,20 @@ namespace {
 std::atomic<bool> g_stop{false};
 std::atomic<int> g_signal{0};
 
+// The async-signal-safety contract (POSIX 2017 XSH 2.4.3): a handler may
+// only store into lock-free atomics or volatile sig_atomic_t. A non-lock-
+// free atomic would take a libatomic mutex inside the handler -- deadlock
+// if the signal lands while the interrupted thread holds it -- so the
+// lock-freedom of both flags is asserted at compile time, and the handler
+// body itself is restricted to plain atomic stores by the signal-handler
+// rule in tools/lint_invariants.py.
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "stop flag must be async-signal-safe (lock-free)");
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal-number flag must be async-signal-safe (lock-free)");
+
 extern "C" void stop_handler(int sig) {
-  // Async-signal-safe: lock-free atomic stores only.
+  // Async-signal-safe: lock-free atomic stores only (see the lint rule).
   g_signal.store(sig, std::memory_order_relaxed);
   g_stop.store(true, std::memory_order_relaxed);
 }

@@ -17,6 +17,10 @@ namespace flexrt::sys {
 /// The handlers are async-signal-safe (they only store into a lock-free
 /// atomic) and idempotent to install. SIGKILL is of course not catchable;
 /// that path is what the crash-safe journal's resume contract covers.
+/// The safety is enforced statically: lock-freedom of the flags is
+/// static_asserted in signals.cpp, and the signal-handler rule in
+/// tools/lint_invariants.py rejects any handler body statement that is
+/// not a lock-free atomic store.
 
 /// Installs the SIGINT and SIGTERM handlers (idempotent).
 void install_stop_signals();

@@ -242,7 +242,7 @@ void Server::accept_loop() {
     auto conn = std::make_unique<Conn>();
     Conn* raw = conn.get();
     raw->fd = fd;
-    std::lock_guard<std::mutex> lock(mu_);
+    sys::MutexLock lock(mu_);
     conns_.push_back(std::move(conn));
     raw->thread = std::thread([this, raw] { serve(*raw); });
   }
@@ -261,7 +261,7 @@ void Server::serve(Conn& conn) {
 void Server::reap(bool all) {
   std::vector<std::unique_ptr<Conn>> finished;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sys::MutexLock lock(mu_);
     if (all) {
       // Graceful drain: EOF every live session's read side. The session
       // thread finishes the command in flight (rows + status line go out

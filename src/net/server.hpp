@@ -4,12 +4,12 @@
 #include <cstddef>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <streambuf>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "net/proto.hpp"
 
 namespace flexrt::net {
@@ -130,8 +130,12 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
   std::atomic<std::size_t> sessions_served_{0};
-  mutable std::mutex mu_;  ///< guards conns_ and their fd lifecycles
-  std::vector<std::unique_ptr<Conn>> conns_;
+  /// Guards the connection registry. The Conn objects themselves are
+  /// shared with their session thread through pre-start writes (fd) and
+  /// atomics (done); only the vector of registrations -- who exists, who
+  /// has been reaped -- needs the lock.
+  mutable sys::Mutex mu_;
+  std::vector<std::unique_ptr<Conn>> conns_ GUARDED_BY(mu_);
 };
 
 }  // namespace flexrt::net

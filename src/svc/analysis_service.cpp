@@ -348,7 +348,7 @@ std::shared_ptr<const analysis::BatchEngine> AnalysisService::engine_ptr(
   const EngineKey key{i, static_cast<int>(alg), budget};
   EngineShard& shard = engine_shard(key);
   {
-    std::scoped_lock lock(shard.mu);
+    sys::MutexLock lock(shard.mu);
     const auto it = shard.engines.find(key);
     if (it != shard.engines.end()) return it->second;
   }
@@ -364,7 +364,7 @@ std::shared_ptr<const analysis::BatchEngine> AnalysisService::engine_ptr(
   auto built =
       std::make_shared<const analysis::BatchEngine>(sys, alg, dl_opts,
                                                     fp_opts);
-  std::scoped_lock lock(shard.mu);
+  sys::MutexLock lock(shard.mu);
   const auto [it, inserted] = shard.engines.emplace(key, std::move(built));
   if (inserted) {
     shard.order.push_back(key);
@@ -383,7 +383,7 @@ AnalysisService::EngineCacheStats AnalysisService::engine_cache_stats() const {
   EngineCacheStats out;
   out.evictions = engine_evictions_.load(std::memory_order_relaxed);
   for (EngineShard& shard : engine_shards_) {
-    std::scoped_lock lock(shard.mu);
+    sys::MutexLock lock(shard.mu);
     out.entries += shard.engines.size();
   }
   return out;

@@ -8,11 +8,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/rng.hpp"
 #include "core/analysis_engine.hpp"
 #include "core/design.hpp"
@@ -513,9 +513,11 @@ class AnalysisService {
   /// without bound; shared_ptr ownership keeps an engine alive for any
   /// ladder that pinned it before eviction.
   struct EngineShard {
-    std::mutex mu;
-    std::map<EngineKey, std::shared_ptr<const analysis::BatchEngine>> engines;
-    std::deque<EngineKey> order;  ///< insertion order; front evicts first
+    sys::Mutex mu;
+    std::map<EngineKey, std::shared_ptr<const analysis::BatchEngine>> engines
+        GUARDED_BY(mu);
+    /// insertion order; front evicts first
+    std::deque<EngineKey> order GUARDED_BY(mu);
   };
   static constexpr std::size_t kEngineShards = 16;
   static constexpr std::size_t kEngineShardCapacity = 512;

@@ -35,6 +35,7 @@ Journal::Recovery Journal::recover(const RowPredicate& terminal,
                                    const RowCallback& replay) {
   FLEXRT_REQUIRE(static_cast<bool>(terminal),
                  "journal recovery needs a terminal-row predicate");
+  sys::MutexLock lock(mu_);
   Recovery rec;
 
   // A committed output means the previous run finished: replay its rows so
@@ -60,7 +61,7 @@ Journal::Recovery Journal::recover(const RowPredicate& terminal,
   if (!fs::file_size(partial)) {
     // Nothing to recover: resume of a run that died before its first
     // append (or was never started) is just a fresh run.
-    start_fresh();
+    file_.emplace(fs::DurableFile::create(partial));
     return rec;
   }
 
@@ -96,22 +97,26 @@ Journal::Recovery Journal::recover(const RowPredicate& terminal,
 }
 
 void Journal::start_fresh() {
+  sys::MutexLock lock(mu_);
   file_.emplace(fs::DurableFile::create(partial_path()));
 }
 
 void Journal::append(std::string_view block) {
+  sys::MutexLock lock(mu_);
   FLEXRT_REQUIRE(file_.has_value(),
                  "journal " + path_ + " is not open for appending");
   file_->append(block);
 }
 
 void Journal::sync() {
+  sys::MutexLock lock(mu_);
   FLEXRT_REQUIRE(file_.has_value(),
                  "journal " + path_ + " is not open for appending");
   file_->sync();
 }
 
 void Journal::commit() {
+  sys::MutexLock lock(mu_);
   if (committed_) return;
   FLEXRT_REQUIRE(file_.has_value(),
                  "journal " + path_ + " is not open for appending");

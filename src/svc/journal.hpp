@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/annotations.hpp"
 #include "common/error.hpp"
 #include "common/fs.hpp"
 #include "common/parallel.hpp"
@@ -165,9 +166,16 @@ class Journal {
   void commit();
 
  private:
-  std::string path_;
-  std::optional<fs::DurableFile> file_;
-  bool committed_ = false;
+  std::string path_;  ///< immutable after construction
+  /// Guards the journal's open-file state. append() is called from
+  /// whichever pool worker holds the ordered stream's emission turn --
+  /// serialized in practice by the stream gate, but the serialization
+  /// lives in another module, so the journal carries its own lock rather
+  /// than an unstated "caller must serialize" contract. sync() can also
+  /// arrive from the interrupt path on the submitting thread.
+  mutable sys::Mutex mu_;
+  std::optional<fs::DurableFile> file_ GUARDED_BY(mu_);
+  bool committed_ GUARDED_BY(mu_) = false;
 };
 
 /// Counts entry-terminal rows in the stream `text` (complete lines only):

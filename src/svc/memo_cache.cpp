@@ -43,7 +43,7 @@ std::size_t memo_payload_bytes(const MemoPayload& payload) {
 
 std::optional<MemoValue> MemoCache::lookup(const rt::Hash128& key) {
   Shard& s = shard_for(key);
-  std::scoped_lock lock(s.mu);
+  sys::MutexLock lock(s.mu);
   const auto it = s.map.find(key);
   if (it == s.map.end()) {
     ++s.misses;
@@ -60,7 +60,7 @@ void MemoCache::insert(const rt::Hash128& key, MemoValue value) {
   const std::size_t cap = shard_capacity();
   if (bytes > cap) return;  // oversized: caching would churn the shard
   Shard& s = shard_for(key);
-  std::scoped_lock lock(s.mu);
+  sys::MutexLock lock(s.mu);
   if (s.map.contains(key)) return;  // first writer wins
   s.lru.push_front(Node{key, std::move(value), bytes});
   s.map.emplace(key, s.lru.begin());
@@ -80,7 +80,7 @@ MemoStats MemoCache::stats() const {
   out.capacity_bytes = capacity_.load(std::memory_order_relaxed);
   out.enabled = enabled();
   for (Shard& s : shards_) {
-    std::scoped_lock lock(s.mu);
+    sys::MutexLock lock(s.mu);
     out.hits += s.hits;
     out.misses += s.misses;
     out.insertions += s.insertions;
@@ -93,7 +93,7 @@ MemoStats MemoCache::stats() const {
 
 void MemoCache::clear() {
   for (Shard& s : shards_) {
-    std::scoped_lock lock(s.mu);
+    sys::MutexLock lock(s.mu);
     s.lru.clear();
     s.map.clear();
     s.bytes = 0;

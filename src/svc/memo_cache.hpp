@@ -5,11 +5,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <variant>
 
+#include "common/annotations.hpp"
 #include "rt/canonical.hpp"
 #include "svc/analysis_service.hpp"
 
@@ -106,15 +106,21 @@ class MemoCache {
       return static_cast<std::size_t>(k.lo);  // already avalanche-mixed
     }
   };
+  /// One lock stripe. Every member is guarded by the shard mutex -- the
+  /// compile-time contract behind "concurrent fleet workers contend only
+  /// 1/kShards of the time": no path can touch a shard's LRU state without
+  /// holding exactly that shard's lock.
   struct Shard {
-    std::mutex mu;
-    std::list<Node> lru;  // front = most recently used
-    std::unordered_map<rt::Hash128, std::list<Node>::iterator, KeyHash> map;
-    std::size_t bytes = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t insertions = 0;
-    std::uint64_t evictions = 0;
+    sys::Mutex mu;
+    /// front = most recently used
+    std::list<Node> lru GUARDED_BY(mu);
+    std::unordered_map<rt::Hash128, std::list<Node>::iterator, KeyHash> map
+        GUARDED_BY(mu);
+    std::size_t bytes GUARDED_BY(mu) = 0;
+    std::uint64_t hits GUARDED_BY(mu) = 0;
+    std::uint64_t misses GUARDED_BY(mu) = 0;
+    std::uint64_t insertions GUARDED_BY(mu) = 0;
+    std::uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_for(const rt::Hash128& key) noexcept {

@@ -70,7 +70,9 @@ TEST(BoundedDeadlineSet, BudgetCondensesWithConservativeBuckets) {
   ASSERT_EQ(dl.times.size(), dl.ends.size());
   for (std::size_t k = 0; k < dl.times.size(); ++k) {
     EXPECT_LE(dl.times[k], dl.ends[k]);  // bucket start <= bucket end
-    if (k > 0) EXPECT_GT(dl.times[k], dl.ends[k - 1]);  // disjoint, ordered
+    if (k > 0) {
+      EXPECT_GT(dl.times[k], dl.ends[k - 1]);  // disjoint, ordered
+    }
   }
   // Every covered deadline falls in some bucket.
   for (const double d : full) {

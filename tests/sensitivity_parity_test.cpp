@@ -75,8 +75,8 @@ TEST_P(SensitivityParity, GlobalMarginMatchesDeepCopyReference) {
 INSTANTIATE_TEST_SUITE_P(Schedulers, SensitivityParity,
                          ::testing::Values(hier::Scheduler::EDF,
                                            hier::Scheduler::FP),
-                         [](const auto& info) {
-                           return hier::to_string(info.param);
+                         [](const auto& param_info) {
+                           return hier::to_string(param_info.param);
                          });
 
 TEST(BatchEngine, VerifyMatchesVerifySchedule) {

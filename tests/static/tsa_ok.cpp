@@ -1,0 +1,32 @@
+// Positive control for the Thread Safety Analysis gate: the annotated
+// wrapper pattern used throughout src/ (a shard struct whose map is
+// GUARDED_BY its mutex, accessed under sys::MutexLock) must compile clean
+// under -Wthread-safety -Werror=thread-safety. If this file fails, the
+// negative checks in tsa_unguarded.cpp / tsa_requires.cpp prove nothing.
+#include <map>
+
+#include "common/annotations.hpp"
+
+namespace {
+
+struct Shard {
+  flexrt::sys::Mutex mu;
+  std::map<int, int> map GUARDED_BY(mu);
+};
+
+int lookup(Shard& s, int key) {
+  flexrt::sys::MutexLock lock(s.mu);
+  const auto it = s.map.find(key);
+  return it == s.map.end() ? -1 : it->second;
+}
+
+}  // namespace
+
+int main() {
+  Shard s;
+  {
+    flexrt::sys::MutexLock lock(s.mu);
+    s.map.emplace(1, 41);
+  }
+  return lookup(s, 1) == 41 ? 0 : 1;
+}

@@ -1,0 +1,21 @@
+// Negative control for the Thread Safety Analysis gate: calling a
+// REQUIRES(mu) function without holding mu. Under clang with
+// -Wthread-safety -Werror=thread-safety this file MUST fail to compile;
+// the configure step aborts if it compiles (inert annotations).
+#include "common/annotations.hpp"
+
+namespace {
+
+struct Counter {
+  flexrt::sys::Mutex mu;
+  int n GUARDED_BY(mu) = 0;
+  void bump() REQUIRES(mu) { ++n; }
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();  // violates REQUIRES(c.mu): caller does not hold the mutex
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Negative control for the Thread Safety Analysis gate: reading a
+// GUARDED_BY member without holding its mutex. Under clang with
+// -Wthread-safety -Werror=thread-safety this file MUST fail to compile;
+// the configure step aborts if it compiles, because that would mean the
+// annotations in src/common/annotations.hpp are silently inert.
+#include <map>
+
+#include "common/annotations.hpp"
+
+namespace {
+
+struct Shard {
+  flexrt::sys::Mutex mu;
+  std::map<int, int> map GUARDED_BY(mu);
+};
+
+int lookup(Shard& s, int key) {
+  // No MutexLock: this access violates the GUARDED_BY contract.
+  const auto it = s.map.find(key);
+  return it == s.map.end() ? -1 : it->second;
+}
+
+}  // namespace
+
+int main() {
+  Shard s;
+  return lookup(s, 1) == -1 ? 0 : 1;
+}

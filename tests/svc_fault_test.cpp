@@ -154,7 +154,9 @@ TEST_F(FaultSweepOnPaperExample, VerdictsDegradeMonotonicallyInTheRate) {
     prev_gap = p.recovery_gap;
     EXPECT_GT(p.nf_exposure, prev_exposure) << "rate " << p.rate;
     prev_exposure = p.nf_exposure;
-    if (fs_lost) EXPECT_FALSE(p.fs_ok) << "rate " << p.rate;
+    if (fs_lost) {
+      EXPECT_FALSE(p.fs_ok) << "rate " << p.rate;
+    }
     if (!p.fs_ok) fs_lost = true;
   }
   // The paper example's FS channels survive one fault per 1000 units but

@@ -233,19 +233,19 @@ int main(int argc, char** argv) {
   // Near-linear scaling across FLEXRT_THREADS shows up as speedup ~=
   // "threads" (both paths run identical per-trial work).
   {
-    const auto trial = [](std::size_t, Rng& rng) {
-      gen::GenParams gp;
-      gp.num_tasks = 12;
-      gp.total_utilization = 1.1;
-      const rt::TaskSet ts = gen::generate_task_set(gp, rng);
-      const auto sys = gen::build_system(ts);
-      if (!sys) return 0.0;
+    const auto trial = [](std::size_t, Rng& trial_rng) {
+      gen::GenParams trial_gp;
+      trial_gp.num_tasks = 12;
+      trial_gp.total_utilization = 1.1;
+      const rt::TaskSet ts = gen::generate_task_set(trial_gp, trial_rng);
+      const auto trial_sys = gen::build_system(ts);
+      if (!trial_sys) return 0.0;
       core::SearchOptions opts;
       opts.grid_step = 2e-2;
       opts.p_max = 8.0;
       try {
-        return core::max_feasible_period(*sys, hier::Scheduler::EDF, 0.05,
-                                         opts);
+        return core::max_feasible_period(*trial_sys, hier::Scheduler::EDF,
+                                         0.05, opts);
       } catch (const InfeasibleError&) {
         return 0.0;
       }
@@ -257,8 +257,8 @@ int main(int argc, char** argv) {
          time_ns([&] {
            double acc = 0.0;
            for (std::size_t i = 0; i < study.trials; ++i) {
-             Rng rng = core::trial_rng(study.base_seed, i);
-             acc += trial(i, rng);
+             Rng seeded = core::trial_rng(study.base_seed, i);
+             acc += trial(i, seeded);
            }
            return acc;
          }),
@@ -282,7 +282,7 @@ int main(int argc, char** argv) {
     core::StudyOptions study;
     study.trials = 256;
     service.add_fleet(study,
-                      [](std::size_t, Rng& rng) { return gen::study_system(rng); });
+                      [](std::size_t, Rng& fleet_rng) { return gen::study_system(fleet_rng); });
     fleet_entries = service.size();
     const svc::MinQuantumRequest req{hier::Scheduler::EDF, 1.0, false, {}};
     (void)service.min_quantum(req);  // warm the engine cache for both paths
@@ -312,7 +312,7 @@ int main(int argc, char** argv) {
     core::StudyOptions study;
     study.trials = 256;
     service.add_fleet(study,
-                      [](std::size_t, Rng& rng) { return gen::study_system(rng); });
+                      [](std::size_t, Rng& fleet_rng) { return gen::study_system(fleet_rng); });
     journal_entries = service.size();
     const svc::MinQuantumRequest req{hier::Scheduler::EDF, 1.0, false, {}};
     (void)service.min_quantum(req);  // warm the engine cache
@@ -435,7 +435,7 @@ int main(int argc, char** argv) {
     core::StudyOptions study;
     study.trials = 256;
     service.add_fleet(study,
-                      [](std::size_t, Rng& rng) { return gen::study_system(rng); });
+                      [](std::size_t, Rng& fleet_rng) { return gen::study_system(fleet_rng); });
     memo_entries = service.size();
     // An adaptive ladder is the realistic cold cost (several budget
     // rungs per entry); the warm lookup is the same either way.

@@ -255,11 +255,6 @@ std::string provenance_note(const svc::Provenance& p) {
   return os.str();
 }
 
-const char* goal_flag(core::DesignGoal goal) {
-  return goal == core::DesignGoal::MinOverheadBandwidth ? "min-overhead"
-                                                        : "max-slack";
-}
-
 // Study row rendering and aggregation live in svc/study_report.hpp so the
 // streaming byte-identity tests drive the exact code the tool runs.
 

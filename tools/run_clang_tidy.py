@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Content-addressed clang-tidy runner -- layer 2 of the static-analysis gate.
+
+clang-tidy over a whole repo is minutes; over a PR's touched files with a
+warm cache it is seconds. This wrapper gives both Modes:
+
+  * diff-aware:  --since REF lints only translation units changed relative
+    to merge-base(REF, HEAD) plus the working tree (the PR surface). When
+    the diff touches no TUs the full set runs instead -- a gate that can
+    be dodged by renaming files lints everything rather than nothing.
+  * cached:      each TU's verdict is keyed by sha256(clang-tidy version,
+    .clang-tidy, the TU bytes, its compile command, and a digest of every
+    tracked header). Only *clean* verdicts are cached -- findings re-run
+    every time so they stay visible until fixed. Header edits invalidate
+    the whole cache: conservative, but headers are where the lies live.
+
+Usage: run_clang_tidy.py [--build-dir build] [--since REF] [--jobs N]
+                         [--cache-dir .tidy-cache] [files...]
+Exit 0 clean, 1 findings, 2 environment problems (no clang-tidy, no
+compile_commands.json). CI treats 2 as failure too: a gate that cannot run
+must not report green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import pathlib
+import shutil
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def find_clang_tidy() -> str | None:
+    for name in ("clang-tidy", "clang-tidy-19", "clang-tidy-18",
+                 "clang-tidy-17", "clang-tidy-16", "clang-tidy-15",
+                 "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def git(*args: str) -> str:
+    return subprocess.run(("git", *args), cwd=REPO, check=True,
+                          capture_output=True, text=True).stdout
+
+
+def changed_files(since: str) -> set[pathlib.Path]:
+    base = git("merge-base", since, "HEAD").strip()
+    names = git("diff", "--name-only", base).splitlines()
+    names += git("diff", "--name-only").splitlines()  # unstaged edits
+    return {(REPO / n).resolve() for n in names if n}
+
+
+def headers_digest() -> str:
+    h = hashlib.sha256()
+    for name in sorted(git("ls-files", "src/**/*.hpp", "src/*.hpp",
+                           "bench/*.hpp").splitlines()):
+        p = REPO / name
+        if p.is_file():
+            h.update(name.encode())
+            h.update(p.read_bytes())
+    return h.hexdigest()
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default=str(REPO / "build"))
+    ap.add_argument("--since", metavar="REF",
+                    help="lint only TUs changed since merge-base(REF, HEAD)")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    ap.add_argument("--cache-dir", default=str(REPO / ".tidy-cache"))
+    ap.add_argument("files", nargs="*")
+    opts = ap.parse_args(argv[1:])
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_clang_tidy: no clang-tidy binary on PATH", file=sys.stderr)
+        return 2
+    ccdb = pathlib.Path(opts.build_dir) / "compile_commands.json"
+    if not ccdb.is_file():
+        print(f"run_clang_tidy: {ccdb} missing -- configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        return 2
+
+    commands: dict[pathlib.Path, str] = {}
+    for entry in json.loads(ccdb.read_text()):
+        src = pathlib.Path(entry["file"]).resolve()
+        # Our own TUs only: vendored FetchContent sources lint upstream.
+        if REPO in src.parents and "_deps" not in src.parts:
+            commands[src] = entry.get("command") or " ".join(entry["arguments"])
+
+    if opts.files:
+        targets = [pathlib.Path(f).resolve() for f in opts.files]
+        missing = [t for t in targets if t not in commands]
+        if missing:
+            print("run_clang_tidy: not in compile_commands.json: "
+                  + " ".join(str(m) for m in missing), file=sys.stderr)
+            return 2
+    elif opts.since:
+        touched = changed_files(opts.since)
+        targets = sorted(t for t in commands if t in touched)
+        if not targets:
+            print("run_clang_tidy: diff touches no TUs -- linting all",
+                  file=sys.stderr)
+            targets = sorted(commands)
+    else:
+        targets = sorted(commands)
+
+    version = subprocess.run((tidy, "--version"), capture_output=True,
+                             text=True, check=True).stdout
+    config = (REPO / ".clang-tidy").read_bytes()
+    hdr_digest = headers_digest()
+    cache = pathlib.Path(opts.cache_dir)
+    cache.mkdir(parents=True, exist_ok=True)
+
+    def key(src: pathlib.Path) -> pathlib.Path:
+        h = hashlib.sha256()
+        for part in (version.encode(), config, src.read_bytes(),
+                     commands[src].encode(), hdr_digest.encode()):
+            h.update(part)
+            h.update(b"\0")
+        return cache / h.hexdigest()
+
+    def run_one(src: pathlib.Path) -> tuple[pathlib.Path, int, str]:
+        marker = key(src)
+        if marker.is_file():
+            return src, 0, ""
+        proc = subprocess.run(
+            (tidy, "-p", opts.build_dir, "--quiet", str(src)),
+            capture_output=True, text=True)
+        if proc.returncode == 0:
+            marker.touch()
+        return src, proc.returncode, proc.stdout + proc.stderr
+
+    failed = 0
+    hits = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=opts.jobs) as pool:
+        for src, rc, output in pool.map(run_one, targets):
+            rel = src.relative_to(REPO)
+            if rc == 0 and not output:
+                hits += 1
+                continue
+            if rc != 0:
+                failed += 1
+                print(f"--- {rel}")
+            if output.strip():
+                print(output.strip())
+
+    print(f"run_clang_tidy: {len(targets)} TU(s), {hits} cached-or-quiet, "
+          f"{failed} with findings", file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
